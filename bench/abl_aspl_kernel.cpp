@@ -1,0 +1,61 @@
+// Ablation (google-benchmark) — scalar BFS vs bit-parallel h-ASPL kernels.
+//
+// The annealer evaluates h-ASPL on every candidate, so the metric kernel
+// dominates search throughput. This microbenchmark measures both kernels
+// (serial and thread-pooled) across graph sizes; tests already assert they
+// agree bit-for-bit.
+
+#include <benchmark/benchmark.h>
+
+#include "common/prng.hpp"
+#include "common/thread_pool.hpp"
+#include "hsg/metrics.hpp"
+#include "search/random_init.hpp"
+
+namespace {
+
+using namespace orp;
+
+HostSwitchGraph graph_for(std::int64_t m) {
+  Xoshiro256 rng(42);
+  const auto n = static_cast<std::uint32_t>(4 * m);
+  return random_host_switch_graph(n, static_cast<std::uint32_t>(m), 12, rng);
+}
+
+void BM_ScalarBfs(benchmark::State& state) {
+  const auto g = graph_for(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_host_metrics(g, AsplKernel::kScalarBfs));
+  }
+}
+BENCHMARK(BM_ScalarBfs)->Arg(64)->Arg(194)->Arg(512);
+
+void BM_BitParallel(benchmark::State& state) {
+  const auto g = graph_for(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_host_metrics(g, AsplKernel::kBitParallel));
+  }
+}
+BENCHMARK(BM_BitParallel)->Arg(64)->Arg(194)->Arg(512);
+
+void BM_BitParallelPooled(benchmark::State& state) {
+  const auto g = graph_for(state.range(0));
+  ThreadPool& pool = ThreadPool::global();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compute_host_metrics(g, AsplKernel::kBitParallel, &pool));
+  }
+}
+BENCHMARK(BM_BitParallelPooled)->Arg(194)->Arg(512);
+
+void BM_SwitchMetrics(benchmark::State& state) {
+  const auto g = graph_for(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_switch_metrics(g, AsplKernel::kAuto));
+  }
+}
+BENCHMARK(BM_SwitchMetrics)->Arg(194);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Ablation — swap vs swing vs 2-neighbor swing (§5.2's design claim).
+//
+// The paper argues the swap operation alone cannot change host placement
+// and the swing operation alone loses the swap's regular-graph moves, so
+// the combined 2-neighbor swing is needed. This bench runs all three modes
+// from identical random starts and reports the final h-ASPL (lower is
+// better) over several seeds.
+
+#include <vector>
+
+#include "bench_util.hpp"
+#include "hsg/bounds.hpp"
+#include "search/random_init.hpp"
+
+int main(int argc, char** argv) {
+  using namespace orp;
+  using namespace orp::bench;
+
+  CliParser cli("abl_operations", "ablation: SA neighborhood operations");
+  cli.option("n", "256", "hosts");
+  cli.option("radix", "12", "ports per switch");
+  cli.option("m", "64", "switches (must divide n so swap mode is defined)");
+  cli.option("seeds", "3", "independent repetitions");
+  cli.option("iters", "0", "SA iterations (0 = ORP_SA_ITERS or 1500)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto n = static_cast<std::uint32_t>(cli.get_int("n"));
+  const auto r = static_cast<std::uint32_t>(cli.get_int("radix"));
+  const auto m = static_cast<std::uint32_t>(cli.get_int("m"));
+  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds"));
+  std::uint64_t iterations = static_cast<std::uint64_t>(cli.get_int("iters"));
+  if (iterations == 0) iterations = sa_iters(1500);
+
+  print_header("Ablation: operations at n=" + std::to_string(n) + ", m=" +
+               std::to_string(m) + ", r=" + std::to_string(r) + ", " +
+               std::to_string(iterations) + " iterations");
+  std::cout << "Theorem-2 bound: " << format_double(haspl_lower_bound(n, r))
+            << "   continuous Moore bound at this m: "
+            << format_double(continuous_haspl_moore_bound(n, m, r)) << "\n";
+
+  Table table({"seed", "initial", "swap-only", "swing-only", "2n-swing"});
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    Xoshiro256 rng(seed);
+    const HostSwitchGraph initial = random_regular_host_switch_graph(n, m, r, rng);
+    const double initial_haspl = compute_host_metrics(initial).h_aspl;
+    table.row().add(static_cast<std::size_t>(seed)).add(initial_haspl);
+    for (const MoveMode mode :
+         {MoveMode::kSwap, MoveMode::kSwing, MoveMode::kTwoNeighborSwing}) {
+      AnnealOptions options;
+      options.iterations = iterations;
+      options.seed = seed * 1000 + static_cast<std::uint64_t>(mode);
+      options.mode = mode;
+      table.add(anneal(initial, options).best_metrics.h_aspl);
+    }
+  }
+  emit_table(table, "abl_operations");
+  std::cout
+      << "expected: all three modes land close here (m divides n and the\n"
+         "balanced distribution is near-optimal, so swap's neighborhood\n"
+         "suffices); the swing family's advantage is structural — it reaches\n"
+         "non-regular graphs, which swap cannot, and only it works at the\n"
+         "non-divisor m_opt values Fig. 5/6 need\n";
+  return 0;
+}

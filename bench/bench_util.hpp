@@ -1,0 +1,70 @@
+#pragma once
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench binary prints the series of one paper figure as aligned
+// tables on stdout and exits 0. Iteration budgets are laptop-sized by
+// default and scale with environment knobs:
+//   ORP_SA_ITERS    — simulated-annealing iterations (default per bench)
+//   ORP_SIM_FRAC    — NAS iteration fraction in percent (default 10)
+//   ORP_BENCH_SEED  — root seed (default 1)
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "search/solver.hpp"
+#include "sim/nas.hpp"
+#include "topo/attach.hpp"
+
+namespace orp::bench {
+
+inline std::uint64_t sa_iters(std::uint64_t fallback) {
+  return static_cast<std::uint64_t>(env_int("ORP_SA_ITERS", static_cast<std::int64_t>(fallback)));
+}
+
+inline double sim_fraction() {
+  return static_cast<double>(env_int("ORP_SIM_FRAC", 10)) / 100.0;
+}
+
+inline std::uint64_t bench_seed() {
+  return static_cast<std::uint64_t>(env_int("ORP_BENCH_SEED", 1));
+}
+
+/// Builds the paper's proposed topology for (n, r): m_opt switches, SA with
+/// the 2-neighbor swing operation.
+inline SolveResult build_proposed(std::uint32_t n, std::uint32_t r,
+                                  std::uint64_t iterations,
+                                  std::uint64_t seed = 0) {
+  SolveOptions options;
+  options.iterations = iterations;
+  options.seed = seed ? seed : bench_seed();
+  options.mode = MoveMode::kTwoNeighborSwing;
+  return solve_orp(n, r, options);
+}
+
+/// Machine for a proposed topology: ranks follow the paper's depth-first
+/// host order (§6.2.1).
+inline Machine proposed_machine(const HostSwitchGraph& graph,
+                                const SimParams& params = {}) {
+  return Machine(graph, params, dfs_host_order(graph));
+}
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n==== " << title << " ====\n";
+}
+
+/// Prints the table and, when ORP_CSV_DIR is set, also writes it to
+/// "$ORP_CSV_DIR/<name>.csv" so the figure series can be re-plotted.
+inline void emit_table(const Table& table, const std::string& name) {
+  table.print(std::cout);
+  if (const char* dir = std::getenv("ORP_CSV_DIR"); dir && *dir) {
+    const std::string path = std::string(dir) + "/" + name + ".csv";
+    if (!table.write_csv_file(path)) {
+      std::cerr << "warning: could not write " << path << "\n";
+    }
+  }
+}
+
+}  // namespace orp::bench

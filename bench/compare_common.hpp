@@ -1,0 +1,43 @@
+#pragma once
+// Shared harness for the conventional-topology comparisons (Figs. 9-11).
+//
+// Each figure has four sub-plots; the harness reproduces all of them for
+// one conventional topology vs the proposed topology at matching (n, r):
+//   (a) performance — NAS kernel Mop/s under the flow-level simulator
+//   (b) bandwidth   — partitioner edge cut for P = 2..16 (P=2: bisection)
+//   (c) power       — total watts vs number of connectable hosts
+//   (d) cost        — switch/electrical-cable/optical-cable breakdown
+// plus the switch-count reduction the paper quotes in the text.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cost/evaluate.hpp"
+#include "hsg/bounds.hpp"
+#include "hsg/metrics.hpp"
+#include "partition/partition.hpp"
+#include "search/random_init.hpp"
+
+namespace orp::bench {
+
+struct ComparisonConfig {
+  std::string figure;             ///< "Fig. 9" etc.
+  std::string csv_prefix;         ///< "fig09" — names the CSV exports
+  std::string baseline_name;      ///< "5-D torus (N=3, r=15)"
+  std::uint32_t n = 1024;
+  std::uint32_t radix = 15;       ///< shared by baseline and proposed
+  /// Builds the baseline carrying exactly `hosts` (the figure's n).
+  std::function<HostSwitchGraph(std::uint32_t hosts)> build_baseline;
+  /// Baseline capacity for a target host count (0 = cannot scale there);
+  /// drives the (c)/(d) connectable-hosts sweep.
+  std::function<std::uint64_t(std::uint32_t hosts)> baseline_capacity;
+  /// Kernels whose simulation the paper omitted for this figure.
+  std::vector<NasKernel> skipped_kernels;
+};
+
+void run_comparison(const ComparisonConfig& config);
+
+}  // namespace orp::bench

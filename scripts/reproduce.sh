@@ -1,0 +1,21 @@
+#!/bin/sh
+# Reproduces the paper's full evaluation: builds, runs the test suite, and
+# regenerates every figure. CSVs land in ./results when ORP_CSV_DIR is set.
+#
+#   ./scripts/reproduce.sh            # laptop budgets (~20-30 min, 1 core)
+#   ORP_SA_ITERS=20000 ORP_SIM_FRAC=50 ./scripts/reproduce.sh   # high fidelity
+set -eu
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+mkdir -p results
+: "${ORP_CSV_DIR:=$(pwd)/results}"
+export ORP_CSV_DIR
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+
+echo
+echo "Done. Tables: bench_output.txt — CSV series: $ORP_CSV_DIR/"

@@ -1,0 +1,58 @@
+#pragma once
+// Minimal command-line option parsing for the examples and bench drivers.
+//
+// Supports `--name value`, `--name=value`, and boolean `--flag`. Unknown
+// options are an error so typos surface immediately; positional arguments
+// are collected in order.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace orp {
+
+class CliParser {
+ public:
+  /// `spec` entries register valid options: {name, default, help}.
+  struct Option {
+    std::string name;
+    std::string default_value;  // empty + is_flag=false means "required if queried"
+    std::string help;
+    bool is_flag = false;
+  };
+
+  CliParser(std::string program, std::string description);
+
+  CliParser& flag(const std::string& name, const std::string& help);
+  CliParser& option(const std::string& name, const std::string& default_value,
+                    const std::string& help);
+
+  /// Parses argv; on --help prints usage and returns false. Throws
+  /// std::invalid_argument on unknown/malformed options.
+  bool parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  void print_usage() const;
+
+ private:
+  const Option* find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<Option> options_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+/// Reads a positive scaling factor from an environment variable, returning
+/// `fallback` when unset or unparsable. Used for ORP_SA_ITERS-style knobs.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+}  // namespace orp

@@ -1,0 +1,111 @@
+#pragma once
+// Deterministic, fast pseudo-random number generation for the ORP toolkit.
+//
+// All randomized components (graph initialization, simulated annealing,
+// workload generation) take an explicit engine so that every experiment is
+// reproducible from a single seed. The engine is xoshiro256** (Blackman &
+// Vigna), seeded through SplitMix64 as its authors recommend; it is an order
+// of magnitude faster than std::mt19937_64 and has no observable bias for
+// our use cases.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace orp {
+
+/// SplitMix64 stepper, used for seeding and as a cheap standalone generator.
+/// Advances `state` and returns the next 64-bit output.
+constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — UniformRandomBitGenerator suitable for std::shuffle.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from SplitMix64 so any 64-bit seed
+  /// (including 0) yields a well-mixed state.
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& w : state_) w = splitmix64_next(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t s1 = state_[1];
+    const std::uint64_t result = rotl(s1 * 5, 7) * 9;
+    const std::uint64_t t = s1 << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= s1;
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be nonzero.
+  /// Lemire's multiply-shift rejection method — no modulo bias.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    __uint128_t m = static_cast<__uint128_t>(operator()()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(operator()()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  constexpr std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability `p` (clamped to [0,1]).
+  constexpr bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Derives an independent child engine; used to hand deterministic
+  /// sub-streams to worker threads or repeated trials.
+  constexpr Xoshiro256 split() noexcept {
+    return Xoshiro256{operator()() ^ 0x9e3779b97f4a7c15ULL};
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Fisher-Yates shuffle over a random-access container.
+template <typename Container>
+void shuffle(Container& c, Xoshiro256& rng) {
+  using std::swap;
+  const auto n = c.size();
+  if (n < 2) return;
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const std::size_t j = rng.below(i + 1);
+    swap(c[i], c[j]);
+  }
+}
+
+}  // namespace orp

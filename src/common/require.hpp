@@ -1,0 +1,39 @@
+#pragma once
+// Precondition checking used across the library.
+//
+// ORP_REQUIRE enforces caller-facing contracts (wrong parameters throw
+// std::invalid_argument with a message that names the violated condition);
+// ORP_ASSERT guards internal invariants and stays active in release builds
+// because the algorithms here are cheap relative to the graph kernels and a
+// silent invariant break would corrupt experiment results.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace orp::detail {
+
+[[noreturn]] inline void throw_requirement(const char* condition, const std::string& message) {
+  std::ostringstream os;
+  os << "requirement violated: " << condition;
+  if (!message.empty()) os << " — " << message;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_assertion(const char* condition, const char* file, int line) {
+  std::ostringstream os;
+  os << "internal invariant broken: " << condition << " at " << file << ':' << line;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace orp::detail
+
+#define ORP_REQUIRE(cond, message)                                   \
+  do {                                                               \
+    if (!(cond)) ::orp::detail::throw_requirement(#cond, (message)); \
+  } while (0)
+
+#define ORP_ASSERT(cond)                                                      \
+  do {                                                                        \
+    if (!(cond)) ::orp::detail::throw_assertion(#cond, __FILE__, __LINE__);   \
+  } while (0)

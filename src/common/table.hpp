@@ -1,0 +1,50 @@
+#pragma once
+// Console table / CSV emission used by the figure benches and examples.
+//
+// Every bench prints two artifacts for each reproduced figure: a human
+// readable aligned table on stdout, and (optionally) a CSV file so the
+// series can be re-plotted. Cells are stored as strings; numeric helpers
+// format with stable precision so diffs between runs are meaningful.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace orp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  Table& row();
+  Table& add(std::string cell);
+  Table& add(const char* cell) { return add(std::string(cell)); }
+  Table& add(double value, int precision = 4);
+  Table& add(std::size_t value);
+  Table& add(int value);
+  Table& add(long long value);
+
+  std::size_t rows() const noexcept { return cells_.size(); }
+  std::size_t columns() const noexcept { return header_.size(); }
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  const std::vector<std::string>& row_cells(std::size_t i) const { return cells_.at(i); }
+
+  /// Aligned fixed-width rendering for terminals.
+  void print(std::ostream& os) const;
+  /// RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void write_csv(std::ostream& os) const;
+  /// Writes CSV to `path`, creating parent directories is NOT attempted.
+  /// Returns false (and logs nothing) if the file cannot be opened.
+  bool write_csv_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Formats a double with fixed precision, trimming trailing zeros
+/// ("3.1400" -> "3.14", "2.0000" -> "2").
+std::string format_double(double value, int precision = 4);
+
+}  // namespace orp

@@ -1,0 +1,118 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <algorithm>
+
+namespace orp {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 1 ? hw - 1 : 0;  // the calling thread also participates
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_main() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+// Shared state for one parallel_for invocation. Iterations are handed out
+// as dynamic chunks via an atomic cursor so uneven per-index costs (e.g. BFS
+// from high-eccentricity sources) still balance.
+struct ThreadPool::ForLoop {
+  std::atomic<std::size_t> next{0};
+  std::size_t count = 0;
+  std::size_t chunk = 1;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<int> pending{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  void run_chunks() {
+    for (;;) {
+      const std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= count) break;
+      const std::size_t end = std::min(count, begin + chunk);
+      try {
+        for (std::size_t i = begin; i < end; ++i) (*body)(i);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!error) error = std::current_exception();
+        next.store(count, std::memory_order_relaxed);  // cancel remaining work
+      }
+    }
+  }
+};
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t participants = workers_.size() + 1;
+  if (participants == 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  auto loop = std::make_shared<ForLoop>();
+  loop->count = count;
+  loop->chunk = std::max<std::size_t>(1, count / (participants * 4));
+  loop->body = &body;
+  const int helpers =
+      static_cast<int>(std::min(workers_.size(), count - 1));
+  loop->pending.store(helpers, std::memory_order_relaxed);
+
+  {
+    std::lock_guard lock(mutex_);
+    for (int i = 0; i < helpers; ++i) {
+      queue_.emplace_back([loop] {
+        loop->run_chunks();
+        if (loop->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard done(loop->done_mutex);
+          loop->done_cv.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  loop->run_chunks();  // the caller works too
+  {
+    std::unique_lock done(loop->done_mutex);
+    loop->done_cv.wait(done, [&] {
+      return loop->pending.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (loop->error) std::rethrow_exception(loop->error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace orp

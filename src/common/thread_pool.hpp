@@ -1,0 +1,51 @@
+#pragma once
+// A small fixed-size thread pool with a blocking parallel_for.
+//
+// The metric kernels (all-pairs BFS over source blocks) and multi-start
+// annealing are embarrassingly parallel over coarse chunks, so a simple
+// mutex-protected queue is sufficient; there is no work stealing. The pool
+// is created once and reused — creating threads per call would dominate the
+// millisecond-scale kernels it serves.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace orp {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs body(i) for i in [0, count) distributed over the pool in blocks,
+  /// and additionally on the calling thread. Blocks until all iterations
+  /// finish. The first exception thrown by any iteration is rethrown.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+  /// Process-wide pool, sized from hardware concurrency on first use.
+  static ThreadPool& global();
+
+ private:
+  struct ForLoop;
+  void worker_main();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace orp

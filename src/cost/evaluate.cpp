@@ -1,0 +1,49 @@
+#include "cost/evaluate.hpp"
+
+namespace orp {
+
+NetworkCostReport evaluate_network_cost(const HostSwitchGraph& g,
+                                        const CostModelParams& params) {
+  NetworkCostReport report;
+  report.switches = g.num_switches();
+  const Floorplan plan(g.num_switches(), params);
+
+  auto add_cable = [&](double length_cm) {
+    report.total_cable_m += length_cm / 100.0;
+    const double length_m = length_cm / 100.0;
+    if (length_cm <= params.electrical_limit_cm) {
+      ++report.electrical_cables;
+      report.electrical_cable_cost_usd +=
+          params.electrical_cost_base_usd + params.electrical_cost_per_m_usd * length_m;
+      report.cable_power_w += params.electrical_power_w;
+    } else {
+      ++report.optical_cables;
+      report.optical_cable_cost_usd +=
+          params.optical_cost_base_usd + params.optical_cost_per_m_usd * length_m;
+      report.cable_power_w += params.optical_power_w;
+    }
+  };
+
+  // Host cables: intra-cabinet.
+  for (HostId h = 0; h < g.num_hosts(); ++h) {
+    if (g.host_attached(h)) add_cable(params.intra_cabinet_cable_cm);
+  }
+  // Switch-switch cables: floorplan Manhattan length.
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    for (SwitchId t : g.neighbors(s)) {
+      if (s < t) add_cable(plan.cable_length_cm(s, t));
+    }
+  }
+
+  // Switch cost/power scale with the port count actually provisioned
+  // (the radix — ports exist whether or not they are cabled).
+  const double per_switch_cost =
+      params.switch_cost_base_usd + params.switch_cost_per_port_usd * g.radix();
+  const double per_switch_power =
+      params.switch_power_base_w + params.switch_power_per_port_w * g.radix();
+  report.switch_cost_usd = per_switch_cost * g.num_switches();
+  report.switch_power_w = per_switch_power * g.num_switches();
+  return report;
+}
+
+}  // namespace orp

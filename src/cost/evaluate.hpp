@@ -1,0 +1,38 @@
+#pragma once
+// Whole-network power and cost evaluation (§6.2.3; Figs. 9c/d, 10c/d,
+// 11c/d).
+
+#include <cstdint>
+
+#include "cost/floorplan.hpp"
+#include "cost/models.hpp"
+#include "hsg/host_switch_graph.hpp"
+
+namespace orp {
+
+struct NetworkCostReport {
+  std::uint32_t switches = 0;
+  std::uint64_t electrical_cables = 0;
+  std::uint64_t optical_cables = 0;
+  double total_cable_m = 0.0;
+
+  double switch_cost_usd = 0.0;
+  double electrical_cable_cost_usd = 0.0;
+  double optical_cable_cost_usd = 0.0;
+  double cable_cost_usd() const {
+    return electrical_cable_cost_usd + optical_cable_cost_usd;
+  }
+  double total_cost_usd() const { return switch_cost_usd + cable_cost_usd(); }
+
+  double switch_power_w = 0.0;
+  double cable_power_w = 0.0;
+  double total_power_w() const { return switch_power_w + cable_power_w; }
+};
+
+/// Evaluates the network: places one cabinet per switch on a 2-D grid,
+/// measures every cable (host-switch cables are intra-cabinet), picks
+/// electrical vs optical by length, and applies the FDR10-like models.
+NetworkCostReport evaluate_network_cost(const HostSwitchGraph& g,
+                                        const CostModelParams& params = {});
+
+}  // namespace orp

@@ -1,0 +1,27 @@
+#include "cost/floorplan.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/require.hpp"
+
+namespace orp {
+
+Floorplan::Floorplan(std::uint32_t num_cabinets, const CostModelParams& params)
+    : params_(params) {
+  ORP_REQUIRE(num_cabinets >= 1, "need at least one cabinet");
+  columns_ = static_cast<std::uint32_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_cabinets))));
+  rows_ = (num_cabinets + columns_ - 1) / columns_;
+}
+
+double Floorplan::cable_length_cm(std::uint32_t a, std::uint32_t b) const {
+  if (a == b) return params_.intra_cabinet_cable_cm;
+  const std::int64_t col_a = a % columns_, row_a = a / columns_;
+  const std::int64_t col_b = b % columns_, row_b = b / columns_;
+  const double dx = static_cast<double>(std::llabs(col_a - col_b)) * params_.cabinet_width_cm;
+  const double dy = static_cast<double>(std::llabs(row_a - row_b)) * params_.cabinet_depth_cm;
+  return dx + dy + params_.cable_slack_cm;
+}
+
+}  // namespace orp

@@ -1,0 +1,33 @@
+#pragma once
+// Physical floorplan for power/cost evaluation (§6.2.3).
+//
+// One cabinet per switch (the switch plus its attached hosts), cabinets
+// laid out row-major on a near-square 2-D grid. Cable length between two
+// cabinets is the Manhattan distance between cabinet centers plus routing
+// slack; host cables stay inside the cabinet.
+
+#include <cstdint>
+
+#include "cost/models.hpp"
+#include "hsg/host_switch_graph.hpp"
+
+namespace orp {
+
+class Floorplan {
+ public:
+  Floorplan(std::uint32_t num_cabinets, const CostModelParams& params);
+
+  std::uint32_t columns() const noexcept { return columns_; }
+  std::uint32_t rows() const noexcept { return rows_; }
+
+  /// Centimeters of cable between cabinets `a` and `b` (switch ids),
+  /// including slack; 0 slack and intra-cabinet length when a == b.
+  double cable_length_cm(std::uint32_t a, std::uint32_t b) const;
+
+ private:
+  const CostModelParams& params_;
+  std::uint32_t columns_;
+  std::uint32_t rows_;
+};
+
+}  // namespace orp

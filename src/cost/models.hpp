@@ -1,0 +1,53 @@
+#pragma once
+// Power and cost model constants (§6.2.3).
+//
+// The paper uses "power and cost models of Mellanox InfiniBand FDR10
+// switches and Mellanox InfiniBand FDR10 40Gb/s QSFP cables", citing the
+// Slim Fly paper (Besta & Hoefler, SC'14) for the models. We cannot ship
+// the vendors' price sheets, so the constants below are approximations in
+// the published range:
+//   * 36-port SX6036 FDR10 switch: ~$11.7k, ~110-230 W  -> per-port model
+//   * QSFP copper cable: ~$30-80 depending on length    -> base + per-m
+//   * QSFP active optical cable: ~$200-500 by length    -> base + per-m,
+//     plus transceiver power on both ends
+// The paper's conclusions depend on switch counts and cable-length mixes
+// (topology properties), not on the absolute dollar values, so the
+// reproduction targets survive this substitution (see DESIGN.md).
+
+namespace orp {
+
+struct CostModelParams {
+  // ---- floorplan (paper values) ----
+  double cabinet_width_cm = 60.0;
+  double cabinet_depth_cm = 210.0;  ///< includes aisle space
+  /// Cables longer than this are optical (paper: 100 cm).
+  double electrical_limit_cm = 100.0;
+  /// Host <-> switch cable inside one cabinet.
+  double intra_cabinet_cable_cm = 50.0;
+  /// Extra length per inter-cabinet cable for vertical routing/slack.
+  /// Kept below 40 cm so a neighboring-cabinet cable (60 cm pitch) stays
+  /// under the 100 cm electrical limit — structured topologies (torus
+  /// rings, dragonfly groups) then keep their short-electrical-cable
+  /// advantage, as in the paper.
+  double cable_slack_cm = 30.0;
+
+  // ---- switch model (FDR10, per-port scaled) ----
+  double switch_cost_base_usd = 500.0;
+  double switch_cost_per_port_usd = 310.0;  ///< ~$11.7k / 36 ports
+  double switch_power_base_w = 25.0;
+  double switch_power_per_port_w = 2.9;     ///< ~130 W / 36 ports
+
+  // ---- cable models ----
+  double electrical_cost_base_usd = 29.0;
+  double electrical_cost_per_m_usd = 4.1;
+  double electrical_power_w = 0.2;  ///< passive copper, negligible
+  /// Active optical cables are strongly length-priced (a 30 m FDR10 AOC
+  /// lists near $650): keeping the per-meter share dominant preserves the
+  /// paper's cable-cost contrast between locality-friendly topologies
+  /// (torus rings, dragonfly groups) and the proposed random-like graphs.
+  double optical_cost_base_usd = 100.0;
+  double optical_cost_per_m_usd = 18.0;
+  double optical_power_w = 2.0;     ///< ~1 W transceiver per end
+};
+
+}  // namespace orp

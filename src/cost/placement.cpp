@@ -1,0 +1,172 @@
+#include "cost/placement.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/require.hpp"
+#include "cost/floorplan.hpp"
+
+namespace orp {
+namespace {
+
+double one_cable_cost(double length_cm, const CostModelParams& params) {
+  const double length_m = length_cm / 100.0;
+  if (length_cm <= params.electrical_limit_cm) {
+    return params.electrical_cost_base_usd + params.electrical_cost_per_m_usd * length_m;
+  }
+  return params.optical_cost_base_usd + params.optical_cost_per_m_usd * length_m;
+}
+
+void check_permutation(const HostSwitchGraph& g,
+                       const std::vector<std::uint32_t>& cabinet_of) {
+  ORP_REQUIRE(cabinet_of.size() == g.num_switches(), "placement size mismatch");
+  std::vector<std::uint8_t> seen(g.num_switches(), 0);
+  for (const std::uint32_t c : cabinet_of) {
+    ORP_REQUIRE(c < g.num_switches() && !seen[c], "placement must be a permutation");
+    seen[c] = 1;
+  }
+}
+
+// Cost of all switch-switch cables incident to `s` under the placement.
+double incident_cost(const HostSwitchGraph& g, const Floorplan& plan,
+                     const std::vector<std::uint32_t>& cabinet_of, SwitchId s,
+                     const CostModelParams& params) {
+  double total = 0.0;
+  for (const SwitchId t : g.neighbors(s)) {
+    total += one_cable_cost(plan.cable_length_cm(cabinet_of[s], cabinet_of[t]), params);
+  }
+  return total;
+}
+
+}  // namespace
+
+double cable_cost_under_placement(const HostSwitchGraph& g,
+                                  const std::vector<std::uint32_t>& cabinet_of,
+                                  const CostModelParams& params) {
+  check_permutation(g, cabinet_of);
+  const Floorplan plan(g.num_switches(), params);
+  double total = 0.0;
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    for (const SwitchId t : g.neighbors(s)) {
+      if (s < t) {
+        total += one_cable_cost(plan.cable_length_cm(cabinet_of[s], cabinet_of[t]), params);
+      }
+    }
+  }
+  // Host cables (intra-cabinet, placement-invariant).
+  double host_cables = 0.0;
+  for (HostId h = 0; h < g.num_hosts(); ++h) {
+    if (g.host_attached(h)) {
+      host_cables += one_cable_cost(params.intra_cabinet_cable_cm, params);
+    }
+  }
+  return total + host_cables;
+}
+
+std::vector<std::uint32_t> optimize_placement(const HostSwitchGraph& g,
+                                              std::uint64_t iterations,
+                                              std::uint64_t seed,
+                                              const CostModelParams& params) {
+  const std::uint32_t m = g.num_switches();
+  std::vector<std::uint32_t> cabinet_of(m);
+  std::iota(cabinet_of.begin(), cabinet_of.end(), 0);
+  if (m < 2) return cabinet_of;
+
+  const Floorplan plan(m, params);
+  Xoshiro256 rng(seed);
+
+  // Auto-scaled schedule, same philosophy as the graph annealer: T0 near
+  // the typical |delta| of a random swap.
+  double probe_sum = 0.0;
+  int probes = 0;
+  for (int i = 0; i < 16; ++i) {
+    const auto a = static_cast<SwitchId>(rng.below(m));
+    auto b = static_cast<SwitchId>(rng.below(m - 1));
+    if (b >= a) ++b;
+    const double before = incident_cost(g, plan, cabinet_of, a, params) +
+                          incident_cost(g, plan, cabinet_of, b, params);
+    std::swap(cabinet_of[a], cabinet_of[b]);
+    const double after = incident_cost(g, plan, cabinet_of, a, params) +
+                         incident_cost(g, plan, cabinet_of, b, params);
+    std::swap(cabinet_of[a], cabinet_of[b]);
+    probe_sum += std::abs(after - before);
+    ++probes;
+  }
+  double temperature = std::max(probe_sum / std::max(probes, 1), 1.0);
+  const double t_final = temperature / 1000.0;
+  const double cooling =
+      iterations > 1 ? std::pow(t_final / temperature,
+                                1.0 / static_cast<double>(iterations - 1))
+                     : 1.0;
+
+  std::vector<std::uint32_t> best = cabinet_of;
+  double current_cost = cable_cost_under_placement(g, cabinet_of, params);
+  double best_cost = current_cost;
+  for (std::uint64_t iter = 0; iter < iterations; ++iter, temperature *= cooling) {
+    const auto a = static_cast<SwitchId>(rng.below(m));
+    auto b = static_cast<SwitchId>(rng.below(m - 1));
+    if (b >= a) ++b;
+    const double before = incident_cost(g, plan, cabinet_of, a, params) +
+                          incident_cost(g, plan, cabinet_of, b, params);
+    std::swap(cabinet_of[a], cabinet_of[b]);
+    const double after = incident_cost(g, plan, cabinet_of, a, params) +
+                         incident_cost(g, plan, cabinet_of, b, params);
+    // The a-b cable (if any) appears in both sums before and after with
+    // the same length, so it cancels in the delta.
+    const double delta = after - before;
+    if (delta <= 0 || rng.bernoulli(std::exp(-delta / temperature))) {
+      current_cost += delta;
+      if (current_cost < best_cost) {
+        best_cost = current_cost;
+        best = cabinet_of;
+      }
+    } else {
+      std::swap(cabinet_of[a], cabinet_of[b]);  // reject
+    }
+  }
+  return best;
+}
+
+NetworkCostReport evaluate_network_cost_placed(
+    const HostSwitchGraph& g, const std::vector<std::uint32_t>& cabinet_of,
+    const CostModelParams& params) {
+  check_permutation(g, cabinet_of);
+  NetworkCostReport report;
+  report.switches = g.num_switches();
+  const Floorplan plan(g.num_switches(), params);
+
+  auto add_cable = [&](double length_cm) {
+    const double length_m = length_cm / 100.0;
+    report.total_cable_m += length_m;
+    if (length_cm <= params.electrical_limit_cm) {
+      ++report.electrical_cables;
+      report.electrical_cable_cost_usd +=
+          params.electrical_cost_base_usd + params.electrical_cost_per_m_usd * length_m;
+      report.cable_power_w += params.electrical_power_w;
+    } else {
+      ++report.optical_cables;
+      report.optical_cable_cost_usd +=
+          params.optical_cost_base_usd + params.optical_cost_per_m_usd * length_m;
+      report.cable_power_w += params.optical_power_w;
+    }
+  };
+
+  for (HostId h = 0; h < g.num_hosts(); ++h) {
+    if (g.host_attached(h)) add_cable(params.intra_cabinet_cable_cm);
+  }
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    for (const SwitchId t : g.neighbors(s)) {
+      if (s < t) add_cable(plan.cable_length_cm(cabinet_of[s], cabinet_of[t]));
+    }
+  }
+
+  const double per_switch_cost =
+      params.switch_cost_base_usd + params.switch_cost_per_port_usd * g.radix();
+  const double per_switch_power =
+      params.switch_power_base_w + params.switch_power_per_port_w * g.radix();
+  report.switch_cost_usd = per_switch_cost * g.num_switches();
+  report.switch_power_w = per_switch_power * g.num_switches();
+  return report;
+}
+
+}  // namespace orp

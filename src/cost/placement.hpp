@@ -1,0 +1,42 @@
+#pragma once
+// Cable-aware switch placement.
+//
+// §6.3.1 attributes the proposed topology's extra cable cost to "cable
+// complexity": random-like wiring means long cables between distant
+// cabinets. That cost depends on WHERE each switch's cabinet sits on the
+// floor — a degree of freedom the identity layout wastes. This optimizer
+// assigns switches to cabinets (a permutation) to minimize total cable
+// cost via simulated annealing over cabinet swaps, recovering much of the
+// structured topologies' advantage for the ORP graphs (see the
+// abl_placement bench).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "cost/evaluate.hpp"
+
+namespace orp {
+
+/// Total cable cost (USD) of the network under a cabinet assignment
+/// (`cabinet_of[s]` = cabinet index of switch s; a permutation of
+/// [0, m)). Host cables are intra-cabinet and unaffected.
+double cable_cost_under_placement(const HostSwitchGraph& g,
+                                  const std::vector<std::uint32_t>& cabinet_of,
+                                  const CostModelParams& params = {});
+
+/// Optimizes the switch -> cabinet permutation by simulated annealing
+/// (pairwise cabinet swaps, cost delta evaluated incrementally on the two
+/// touched switches' incident cables). Returns the best assignment found;
+/// starts from the identity layout.
+std::vector<std::uint32_t> optimize_placement(const HostSwitchGraph& g,
+                                              std::uint64_t iterations,
+                                              std::uint64_t seed,
+                                              const CostModelParams& params = {});
+
+/// Cost/power report under an explicit placement.
+NetworkCostReport evaluate_network_cost_placed(
+    const HostSwitchGraph& g, const std::vector<std::uint32_t>& cabinet_of,
+    const CostModelParams& params = {});
+
+}  // namespace orp

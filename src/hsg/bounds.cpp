@@ -1,0 +1,174 @@
+#include "hsg/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/require.hpp"
+
+namespace orp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// (base)^exp with saturation at 2^62 to avoid overflow in level fills.
+std::uint64_t sat_pow(std::uint64_t base, std::uint32_t exp) {
+  constexpr std::uint64_t kCap = 1ULL << 62;
+  std::uint64_t result = 1;
+  for (std::uint32_t i = 0; i < exp; ++i) {
+    if (result > kCap / std::max<std::uint64_t>(base, 1)) return kCap;
+    result *= base;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::uint32_t diameter_lower_bound(std::uint64_t n, std::uint32_t r) {
+  ORP_REQUIRE(n >= 2, "diameter bound needs at least two hosts");
+  ORP_REQUIRE(r >= 3, "radix must be at least 3");
+  // Smallest D with (r-1)^(D-1) >= n-1; a host reaches at most (r-1)^(i-1)
+  // hosts along i edges (Theorem 1).
+  std::uint32_t d = 1;
+  while (sat_pow(r - 1, d - 1) < n - 1) ++d;
+  return std::max<std::uint32_t>(d, 2);
+}
+
+double haspl_lower_bound(std::uint64_t n, std::uint32_t r) {
+  ORP_REQUIRE(n >= 2, "h-ASPL bound needs at least two hosts");
+  ORP_REQUIRE(r >= 3, "radix must be at least 3");
+  const std::uint32_t d_minus = diameter_lower_bound(n, r);
+  const std::uint64_t full_level = sat_pow(r - 1, d_minus - 1);
+  if (n - 1 == full_level) return static_cast<double>(d_minus);
+  // Theorem 2: alpha = (r-1)^{D-2} - ceil((n-1-(r-1)^{D-2}) / (r-2)).
+  const std::uint64_t prev_level = sat_pow(r - 1, d_minus - 2);
+  double alpha;
+  if (n - 1 <= prev_level) {
+    // Fewer hosts than one level below capacity; every host other than the
+    // source can sit at distance D-1, alpha saturates at n-1 (bound = D-1,
+    // which the final clamp keeps >= 2). Happens only for n <= r.
+    alpha = static_cast<double>(n - 1);
+  } else {
+    const std::uint64_t overflow = n - 1 - prev_level;
+    const std::uint64_t converted = (overflow + (r - 2) - 1) / (r - 2);  // ceil
+    alpha = converted >= prev_level
+                ? 0.0
+                : static_cast<double>(prev_level - converted);
+  }
+  const double bound =
+      static_cast<double>(d_minus) - alpha / static_cast<double>(n - 1);
+  return std::max(bound, 2.0);
+}
+
+double moore_aspl_bound(std::uint64_t num_vertices, std::uint64_t degree) {
+  if (num_vertices <= 1) return 0.0;
+  if (degree == 0) return kInf;
+  if (degree == 1) return num_vertices == 2 ? 1.0 : kInf;
+  std::uint64_t remaining = num_vertices - 1;
+  std::uint64_t level_cap = degree;  // K(K-1)^{i-1} at level i
+  std::uint64_t sum = 0;
+  for (std::uint64_t dist = 1; remaining > 0; ++dist) {
+    const std::uint64_t take = std::min(remaining, level_cap);
+    sum += take * dist;
+    remaining -= take;
+    if (level_cap > (1ULL << 62) / std::max<std::uint64_t>(degree - 1, 1)) {
+      level_cap = 1ULL << 62;
+    } else {
+      level_cap *= degree - 1;
+    }
+  }
+  return static_cast<double>(sum) / static_cast<double>(num_vertices - 1);
+}
+
+double continuous_moore_aspl_bound(double num_vertices, double degree) {
+  if (num_vertices <= 1.0) return 0.0;
+  if (degree <= 0.0) return kInf;
+  double remaining = num_vertices - 1.0;
+  if (degree <= 1.0) {
+    // Levels shrink at ratio (K-1) <= 0: only level 1 holds vertices.
+    return remaining <= degree ? 1.0 : kInf;
+  }
+  if (degree < 2.0) {
+    // Total reachable mass K * sum (K-1)^{i-1} = K / (2 - K) is finite.
+    // Exactly at the boundary the fill converges (geometrically shrinking
+    // levels), so only strictly-greater mass is infeasible.
+    if (remaining > degree / (2.0 - degree) * (1.0 + 1e-12)) return kInf;
+  }
+  double level_cap = degree;
+  double sum = 0.0;
+  for (double dist = 1.0; remaining > 1e-12; dist += 1.0) {
+    const double take = std::min(remaining, level_cap);
+    sum += take * dist;
+    remaining -= take;
+    level_cap *= degree - 1.0;
+    if (dist > 1e7) return kInf;  // defensive: cannot converge
+  }
+  return sum / (num_vertices - 1.0);
+}
+
+double haspl_from_switch_aspl(double switch_aspl, std::uint64_t n, std::uint64_t m) {
+  ORP_REQUIRE(n >= 2 && m >= 1, "need n >= 2, m >= 1");
+  if (m == 1) return 2.0;
+  const double mn = static_cast<double>(m) * static_cast<double>(n);
+  return switch_aspl * (mn - static_cast<double>(n)) /
+             (mn - static_cast<double>(m)) +
+         2.0;
+}
+
+double regular_haspl_moore_bound(std::uint64_t n, std::uint64_t m, std::uint32_t r) {
+  ORP_REQUIRE(m >= 1, "need at least one switch");
+  ORP_REQUIRE(n % m == 0, "regular host-switch graphs need m | n");
+  const std::uint64_t hosts_per_switch = n / m;
+  if (hosts_per_switch > r) return kInf;
+  const std::uint64_t degree = r - hosts_per_switch;
+  if (m == 1) return hosts_per_switch <= r ? 2.0 : kInf;
+  return haspl_from_switch_aspl(moore_aspl_bound(m, degree), n, m);
+}
+
+double continuous_haspl_moore_bound(std::uint64_t n, double m, std::uint32_t r) {
+  ORP_REQUIRE(m >= 1.0, "need at least one switch");
+  const double hosts_per_switch = static_cast<double>(n) / m;
+  if (m < 1.5) {
+    // Single switch: feasible iff all hosts fit on it.
+    return static_cast<double>(n) <= static_cast<double>(r) ? 2.0 : kInf;
+  }
+  const double degree = static_cast<double>(r) - hosts_per_switch;
+  const double switch_aspl = continuous_moore_aspl_bound(m, degree);
+  if (std::isinf(switch_aspl)) return kInf;
+  const double mn = m * static_cast<double>(n);
+  return switch_aspl * (mn - static_cast<double>(n)) / (mn - m) + 2.0;
+}
+
+std::uint32_t optimal_switch_count(std::uint64_t n, std::uint32_t r) {
+  ORP_REQUIRE(n >= 2, "need at least two hosts");
+  ORP_REQUIRE(r >= 3, "radix must be at least 3");
+  // The bound is infinite for m below ~n/(r-2) (not enough ports), dips to
+  // a single minimum, and grows like log m afterwards; a full scan over
+  // [1, n] is cheap at the n this library targets and immune to plateau
+  // artifacts.
+  double best = kInf;
+  std::uint32_t best_m = 1;
+  const std::uint64_t limit = std::max<std::uint64_t>(n, 2);
+  for (std::uint64_t m = 1; m <= limit; ++m) {
+    const double bound = continuous_haspl_moore_bound(n, static_cast<double>(m), r);
+    if (bound < best) {
+      best = bound;
+      best_m = static_cast<std::uint32_t>(m);
+    }
+  }
+  return best_m;
+}
+
+std::uint32_t clique_switch_count(std::uint64_t n, std::uint32_t r) {
+  ORP_REQUIRE(n >= 1, "need at least one host");
+  ORP_REQUIRE(r >= 3, "radix must be at least 3");
+  for (std::uint32_t m = 1; m <= r + 1; ++m) {
+    const std::uint64_t capacity =
+        m >= r + 1 ? 0
+                   : static_cast<std::uint64_t>(m) * (r - m + 1);
+    if (capacity >= n) return m;
+  }
+  return 0;
+}
+
+}  // namespace orp

@@ -1,0 +1,60 @@
+#pragma once
+// Lower bounds from §4 and §5 of the paper.
+//
+//  * Theorem 1 — diameter lower bound for any host-switch graph with order
+//    n and radix r:  D >= ceil(log_{r-1}(n-1)) + 1.
+//  * Theorem 2 — h-ASPL lower bound for any host-switch graph.
+//  * Moore bound — classical ASPL lower bound of an N-vertex K-regular
+//    graph, used through Eq. (2) to bound k-regular host-switch graphs.
+//  * Continuous Moore bound — the paper's extension of Eq. (2) to rational
+//    average degree (§5.3), whose minimizer over m predicts the optimal
+//    switch count m_opt.
+//
+// All bounds return +infinity when the configuration is infeasible (e.g.
+// too few ports to connect the graph at all).
+
+#include <cstdint>
+
+namespace orp {
+
+/// Theorem 1. Requires n >= 2, r >= 3. The result is clamped to >= 2
+/// because two hosts are always two hops apart through their switch.
+std::uint32_t diameter_lower_bound(std::uint64_t n, std::uint32_t r);
+
+/// Theorem 2. Requires n >= 2, r >= 3. Clamped to >= 2.0 (the paper's
+/// closed form dips below 2 for n <= r where the true optimum is exactly 2).
+double haspl_lower_bound(std::uint64_t n, std::uint32_t r);
+
+/// Moore ASPL lower bound M(N, K) of an N-vertex K-regular undirected
+/// graph: fill distance levels 1..inf with at most K(K-1)^{i-1} vertices.
+/// Returns +infinity when K-regular graphs on N vertices cannot be
+/// connected (e.g. K <= 1, N > 2).
+double moore_aspl_bound(std::uint64_t num_vertices, std::uint64_t degree);
+
+/// Continuous Moore ASPL bound: same level-filling argument with real
+/// degree K > 0 (the paper's §5.3 extension).
+double continuous_moore_aspl_bound(double num_vertices, double degree);
+
+/// Eq. (1): h-ASPL of a regular host-switch graph (every switch carries
+/// n/m hosts) from the ASPL of its switch subgraph:
+///   A(G) = A(G') * (mn - n) / (mn - m) + 2.
+double haspl_from_switch_aspl(double switch_aspl, std::uint64_t n, std::uint64_t m);
+
+/// Eq. (2): Moore-bound h-ASPL lower bound of a k-regular host-switch
+/// graph with m switches (requires m | n; degree k = r - n/m).
+double regular_haspl_moore_bound(std::uint64_t n, std::uint64_t m, std::uint32_t r);
+
+/// The continuous Moore bound of a host-switch graph: Eq. (2) with real
+/// hosts-per-switch n/m and real degree r - n/m, defined for any m >= 1.
+double continuous_haspl_moore_bound(std::uint64_t n, double m, std::uint32_t r);
+
+/// The paper's m_opt: the integer m minimizing the continuous Moore bound
+/// for the given order and radix (§5.3). Ties break toward fewer switches.
+std::uint32_t optimal_switch_count(std::uint64_t n, std::uint32_t r);
+
+/// Smallest m such that m switches forming a clique can carry n hosts,
+/// i.e. m * (r - m + 1) >= n (§3.2). Returns 0 when no clique on <= r+1
+/// switches can carry them (then the h-ASPL optimum exceeds 3).
+std::uint32_t clique_switch_count(std::uint64_t n, std::uint32_t r);
+
+}  // namespace orp

@@ -1,0 +1,162 @@
+#include "hsg/host_switch_graph.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace orp {
+
+HostSwitchGraph::HostSwitchGraph(std::uint32_t n, std::uint32_t m, std::uint32_t r)
+    : n_(n), m_(m), r_(r) {
+  ORP_REQUIRE(n >= 1, "a host-switch graph needs at least one host");
+  ORP_REQUIRE(m >= 1, "a host-switch graph needs at least one switch");
+  ORP_REQUIRE(r >= 1, "radix must be positive");
+  host_switch_.assign(n_, kDetached);
+  hosts_per_switch_.assign(m_, 0);
+  adj_.assign(m_, {});
+}
+
+void HostSwitchGraph::attach_host(HostId h, SwitchId s) {
+  ORP_REQUIRE(h < n_, "host id out of range");
+  ORP_REQUIRE(s < m_, "switch id out of range");
+  ORP_REQUIRE(host_switch_[h] == kDetached, "host already attached");
+  ORP_REQUIRE(ports_used(s) < r_, "switch has no free port for a host");
+  host_switch_[h] = s;
+  ++hosts_per_switch_[s];
+  ++attached_hosts_;
+}
+
+void HostSwitchGraph::detach_host(HostId h) {
+  ORP_REQUIRE(h < n_, "host id out of range");
+  const SwitchId s = host_switch_[h];
+  ORP_REQUIRE(s != kDetached, "host is not attached");
+  host_switch_[h] = kDetached;
+  --hosts_per_switch_[s];
+  --attached_hosts_;
+}
+
+void HostSwitchGraph::move_host(HostId h, SwitchId to) {
+  ORP_REQUIRE(h < n_, "host id out of range");
+  ORP_REQUIRE(to < m_, "switch id out of range");
+  const SwitchId from = host_switch_[h];
+  ORP_REQUIRE(from != kDetached, "host is not attached");
+  if (from == to) return;
+  ORP_REQUIRE(ports_used(to) < r_, "destination switch has no free port");
+  host_switch_[h] = to;
+  --hosts_per_switch_[from];
+  ++hosts_per_switch_[to];
+}
+
+bool HostSwitchGraph::has_switch_edge(SwitchId a, SwitchId b) const {
+  ORP_ASSERT(a < m_ && b < m_);
+  const auto& na = adj_[a];
+  return std::find(na.begin(), na.end(), b) != na.end();
+}
+
+void HostSwitchGraph::add_switch_edge(SwitchId a, SwitchId b) {
+  ORP_REQUIRE(a < m_ && b < m_, "switch id out of range");
+  ORP_REQUIRE(a != b, "self-loops are not allowed");
+  ORP_REQUIRE(!has_switch_edge(a, b), "edge already present (multi-edges not allowed)");
+  ORP_REQUIRE(ports_used(a) < r_, "switch a has no free port");
+  ORP_REQUIRE(ports_used(b) < r_, "switch b has no free port");
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+  ++switch_edges_;
+}
+
+void HostSwitchGraph::remove_switch_edge(SwitchId a, SwitchId b) {
+  ORP_REQUIRE(a < m_ && b < m_, "switch id out of range");
+  auto erase_one = [](std::vector<SwitchId>& vec, SwitchId v) {
+    auto it = std::find(vec.begin(), vec.end(), v);
+    if (it == vec.end()) return false;
+    *it = vec.back();
+    vec.pop_back();
+    return true;
+  };
+  ORP_REQUIRE(erase_one(adj_[a], b), "edge does not exist");
+  ORP_ASSERT(erase_one(adj_[b], a));
+  --switch_edges_;
+}
+
+bool HostSwitchGraph::switches_connected() const {
+  if (m_ <= 1) return true;
+  std::vector<char> seen(m_, 0);
+  std::vector<SwitchId> stack{0};
+  seen[0] = 1;
+  std::uint32_t visited = 1;
+  while (!stack.empty()) {
+    const SwitchId v = stack.back();
+    stack.pop_back();
+    for (SwitchId u : adj_[v]) {
+      if (!seen[u]) {
+        seen[u] = 1;
+        ++visited;
+        stack.push_back(u);
+      }
+    }
+  }
+  return visited == m_;
+}
+
+std::vector<std::uint32_t> HostSwitchGraph::host_distribution() const {
+  const std::uint32_t max_k =
+      m_ == 0 ? 0 : *std::max_element(hosts_per_switch_.begin(), hosts_per_switch_.end());
+  std::vector<std::uint32_t> dist(max_k + 1, 0);
+  for (std::uint32_t k : hosts_per_switch_) ++dist[k];
+  return dist;
+}
+
+std::vector<std::vector<HostId>> HostSwitchGraph::hosts_by_switch() const {
+  std::vector<std::vector<HostId>> by_switch(m_);
+  for (SwitchId s = 0; s < m_; ++s) by_switch[s].reserve(hosts_per_switch_[s]);
+  for (HostId h = 0; h < n_; ++h) {
+    if (host_switch_[h] != kDetached) by_switch[host_switch_[h]].push_back(h);
+  }
+  return by_switch;
+}
+
+void HostSwitchGraph::check_invariants() const {
+  auto fail = [](const std::string& what) { throw std::logic_error("HostSwitchGraph: " + what); };
+
+  std::vector<std::uint32_t> recount(m_, 0);
+  std::uint32_t attached = 0;
+  for (HostId h = 0; h < n_; ++h) {
+    const SwitchId s = host_switch_[h];
+    if (s == kDetached) continue;
+    if (s >= m_) fail("host attached to out-of-range switch");
+    ++recount[s];
+    ++attached;
+  }
+  if (attached != attached_hosts_) fail("attached host counter out of sync");
+  if (recount != hosts_per_switch_) fail("hosts_per_switch out of sync");
+
+  std::uint64_t directed_edges = 0;
+  for (SwitchId s = 0; s < m_; ++s) {
+    const auto& ns = adj_[s];
+    directed_edges += ns.size();
+    if (ns.size() + hosts_per_switch_[s] > r_) fail("radix exceeded on a switch");
+    for (SwitchId u : ns) {
+      if (u >= m_) fail("adjacency points at out-of-range switch");
+      if (u == s) fail("self-loop present");
+      if (std::count(ns.begin(), ns.end(), u) != 1) fail("multi-edge present");
+      const auto& nu = adj_[u];
+      if (std::find(nu.begin(), nu.end(), s) == nu.end()) fail("adjacency not symmetric");
+    }
+  }
+  if (directed_edges != 2 * switch_edges_) fail("switch edge counter out of sync");
+}
+
+bool HostSwitchGraph::operator==(const HostSwitchGraph& other) const {
+  if (n_ != other.n_ || m_ != other.m_ || r_ != other.r_) return false;
+  if (host_switch_ != other.host_switch_) return false;
+  if (switch_edges_ != other.switch_edges_) return false;
+  for (SwitchId s = 0; s < m_; ++s) {
+    auto a = adj_[s];
+    auto b = other.adj_[s];
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    if (a != b) return false;
+  }
+  return true;
+}
+
+}  // namespace orp

@@ -1,0 +1,125 @@
+#pragma once
+// The host-switch graph model from "Order/Radix Problem: Towards Low
+// End-to-End Latency Interconnection Networks" (Yasudo et al., ICPP 2017).
+//
+// A host-switch graph G = (H, S, E) has n degree-1 *host* vertices, m
+// *switch* vertices with at most r incident edges (r = radix), and edges
+// that are either host-switch or switch-switch. Hosts model compute
+// endpoints, switches model routers; the end-to-end latency of the modeled
+// interconnection network is the host-to-host shortest path length.
+//
+// Representation: each host stores the switch it is attached to, and the
+// switch-switch subgraph is an adjacency list. Degrees are tiny (<= r, and
+// r <= 64 in every practical network), so adjacency membership tests are
+// linear scans — faster than hashing at this scale and allocation-free.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace orp {
+
+using HostId = std::uint32_t;
+using SwitchId = std::uint32_t;
+
+class HostSwitchGraph {
+ public:
+  /// Creates a graph with `n` detached hosts, `m` isolated switches, and
+  /// radix `r`. The paper requires n >= 3, m >= 1, r >= 3; we additionally
+  /// accept small n for unit tests but never n == 0.
+  HostSwitchGraph(std::uint32_t n, std::uint32_t m, std::uint32_t r);
+
+  std::uint32_t num_hosts() const noexcept { return n_; }
+  std::uint32_t num_switches() const noexcept { return m_; }
+  std::uint32_t radix() const noexcept { return r_; }
+
+  // ---- host <-> switch attachment -----------------------------------
+
+  static constexpr SwitchId kDetached = 0xffffffffu;
+
+  /// The switch host `h` is attached to, or kDetached.
+  SwitchId host_switch(HostId h) const {
+    ORP_ASSERT(h < n_);
+    return host_switch_[h];
+  }
+  bool host_attached(HostId h) const { return host_switch(h) != kDetached; }
+  /// True when every host is attached to some switch.
+  bool fully_attached() const noexcept { return attached_hosts_ == n_; }
+
+  /// Attaches detached host `h` to switch `s`; requires a free port on `s`.
+  void attach_host(HostId h, SwitchId s);
+  /// Detaches host `h` from its switch.
+  void detach_host(HostId h);
+  /// Moves host `h` from its current switch to `to` (which needs a free
+  /// port unless it already hosts `h`).
+  void move_host(HostId h, SwitchId to);
+
+  /// Number of hosts attached to switch `s` (the paper's k_s).
+  std::uint32_t hosts_on(SwitchId s) const {
+    ORP_ASSERT(s < m_);
+    return hosts_per_switch_[s];
+  }
+
+  // ---- switch-switch edges -------------------------------------------
+
+  std::span<const SwitchId> neighbors(SwitchId s) const {
+    ORP_ASSERT(s < m_);
+    return adj_[s];
+  }
+  std::uint32_t switch_degree(SwitchId s) const {
+    ORP_ASSERT(s < m_);
+    return static_cast<std::uint32_t>(adj_[s].size());
+  }
+  /// Ports in use on `s`: switch links plus attached hosts.
+  std::uint32_t ports_used(SwitchId s) const {
+    return switch_degree(s) + hosts_on(s);
+  }
+  std::uint32_t free_ports(SwitchId s) const { return r_ - ports_used(s); }
+
+  bool has_switch_edge(SwitchId a, SwitchId b) const;
+  /// Adds edge {a,b}; requires a != b, no existing edge, and a free port on
+  /// both endpoints.
+  void add_switch_edge(SwitchId a, SwitchId b);
+  /// Removes edge {a,b}; requires the edge to exist.
+  void remove_switch_edge(SwitchId a, SwitchId b);
+
+  std::uint64_t num_switch_edges() const noexcept { return switch_edges_; }
+  /// Total edge count |E| = switch-switch edges + attached hosts.
+  std::uint64_t num_edges() const noexcept { return switch_edges_ + attached_hosts_; }
+
+  // ---- whole-graph queries -------------------------------------------
+
+  /// True when the switch subgraph is connected (m == 1 counts). Hosts are
+  /// degree-1 pendants, so this is equivalent to whole-graph connectivity
+  /// once every host is attached.
+  bool switches_connected() const;
+
+  /// Host distribution: element k = number of switches with exactly k
+  /// attached hosts (the paper's Fig. 6 / Fig. 8 histogram). The vector has
+  /// max(k_s)+1 entries (at least 1).
+  std::vector<std::uint32_t> host_distribution() const;
+
+  /// List of hosts attached to each switch, built on demand (O(n + m)).
+  std::vector<std::vector<HostId>> hosts_by_switch() const;
+
+  /// Checks every structural invariant (port budgets, adjacency symmetry,
+  /// counter consistency); throws std::logic_error with a description on
+  /// the first violation. Intended for tests and after deserialization.
+  void check_invariants() const;
+
+  bool operator==(const HostSwitchGraph& other) const;
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t m_;
+  std::uint32_t r_;
+  std::uint32_t attached_hosts_ = 0;
+  std::uint64_t switch_edges_ = 0;
+  std::vector<SwitchId> host_switch_;
+  std::vector<std::uint32_t> hosts_per_switch_;
+  std::vector<std::vector<SwitchId>> adj_;
+};
+
+}  // namespace orp

@@ -1,0 +1,139 @@
+#include "hsg/io.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+namespace orp {
+
+void write_hsg(std::ostream& os, const HostSwitchGraph& g) {
+  os << "hsg " << g.num_hosts() << ' ' << g.num_switches() << ' ' << g.radix()
+     << '\n';
+  for (HostId h = 0; h < g.num_hosts(); ++h) {
+    if (g.host_attached(h)) os << "H " << h << ' ' << g.host_switch(h) << '\n';
+  }
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    for (SwitchId t : g.neighbors(s)) {
+      if (s < t) os << "S " << s << ' ' << t << '\n';
+    }
+  }
+}
+
+bool write_hsg_file(const std::string& path, const HostSwitchGraph& g) {
+  std::ofstream file(path);
+  if (!file) return false;
+  write_hsg(file, g);
+  return static_cast<bool>(file);
+}
+
+namespace {
+[[noreturn]] void parse_fail(std::size_t line, const std::string& what) {
+  throw std::invalid_argument("hsg parse error at line " + std::to_string(line) +
+                              ": " + what);
+}
+}  // namespace
+
+HostSwitchGraph read_hsg(std::istream& is) {
+  std::string line;
+  std::size_t line_no = 0;
+  std::optional<HostSwitchGraph> graph;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string tag;
+    if (!(fields >> tag)) continue;  // blank line
+    if (tag == "hsg") {
+      if (graph) parse_fail(line_no, "duplicate header");
+      std::uint32_t n = 0, m = 0, r = 0;
+      if (!(fields >> n >> m >> r)) parse_fail(line_no, "header needs n m r");
+      graph.emplace(n, m, r);
+    } else if (tag == "H") {
+      if (!graph) parse_fail(line_no, "host line before header");
+      std::uint32_t h = 0, s = 0;
+      if (!(fields >> h >> s)) parse_fail(line_no, "host line needs <host> <switch>");
+      if (h >= graph->num_hosts() || s >= graph->num_switches()) {
+        parse_fail(line_no, "host or switch id out of range");
+      }
+      if (graph->host_attached(h)) parse_fail(line_no, "host attached twice");
+      if (graph->free_ports(s) == 0) parse_fail(line_no, "switch radix exceeded");
+      graph->attach_host(h, s);
+    } else if (tag == "S") {
+      if (!graph) parse_fail(line_no, "edge line before header");
+      std::uint32_t a = 0, b = 0;
+      if (!(fields >> a >> b)) parse_fail(line_no, "edge line needs <a> <b>");
+      if (a >= graph->num_switches() || b >= graph->num_switches()) {
+        parse_fail(line_no, "switch id out of range");
+      }
+      if (a == b) parse_fail(line_no, "self-loop");
+      if (graph->has_switch_edge(a, b)) parse_fail(line_no, "duplicate edge");
+      if (graph->free_ports(a) == 0 || graph->free_ports(b) == 0) {
+        parse_fail(line_no, "switch radix exceeded");
+      }
+      graph->add_switch_edge(a, b);
+    } else {
+      parse_fail(line_no, "unknown tag '" + tag + "'");
+    }
+  }
+  if (!graph) parse_fail(line_no, "missing 'hsg' header");
+  return std::move(*graph);
+}
+
+HostSwitchGraph read_hsg_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::invalid_argument("cannot open " + path);
+  return read_hsg(file);
+}
+
+void write_edgelist(std::ostream& os, const HostSwitchGraph& g) {
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    for (SwitchId t : g.neighbors(s)) {
+      if (s < t) os << s << ' ' << t << '\n';
+    }
+  }
+}
+
+HostSwitchGraph read_edgelist(std::istream& is, std::uint32_t order,
+                              std::uint32_t degree) {
+  HostSwitchGraph g(order, order, degree + 1);
+  for (HostId h = 0; h < order; ++h) g.attach_host(h, h);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::uint32_t a = 0, b = 0;
+    if (!(fields >> a)) continue;  // blank
+    if (!(fields >> b)) parse_fail(line_no, "edge line needs two vertices");
+    if (a >= order || b >= order) parse_fail(line_no, "vertex out of range");
+    if (a == b) parse_fail(line_no, "self-loop");
+    if (g.has_switch_edge(a, b)) parse_fail(line_no, "duplicate edge");
+    if (g.free_ports(a) == 0 || g.free_ports(b) == 0) {
+      parse_fail(line_no, "degree bound exceeded");
+    }
+    g.add_switch_edge(a, b);
+  }
+  return g;
+}
+
+void write_dot(std::ostream& os, const HostSwitchGraph& g) {
+  os << "graph hsg {\n  node [shape=box];\n";
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    os << "  s" << s << ";\n";
+  }
+  os << "  node [shape=ellipse];\n";
+  for (HostId h = 0; h < g.num_hosts(); ++h) {
+    if (g.host_attached(h)) {
+      os << "  h" << h << " -- s" << g.host_switch(h) << ";\n";
+    }
+  }
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    for (SwitchId t : g.neighbors(s)) {
+      if (s < t) os << "  s" << s << " -- s" << t << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace orp

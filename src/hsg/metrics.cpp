@@ -1,0 +1,244 @@
+#include "hsg/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace orp {
+namespace {
+
+// Weighted APSP accumulation shared by both public entry points.
+//
+// Inputs: the switch adjacency, per-switch weights w (k_s for host metrics,
+// 1 for switch metrics), and the source list (switches with w > 0 for host
+// metrics, all switches for switch metrics).
+//
+// Output per run: ordered_sum = sum over sources s of w_s * sum_v w_v d(s,v),
+// max_dist = max d(s,v) over sources s and weighted (or all) targets v, and
+// whether every source reached total weight W.
+struct ApspResult {
+  std::uint64_t ordered_sum = 0;
+  std::uint32_t max_dist = 0;
+  bool all_reached = true;
+};
+
+struct ApspInput {
+  const HostSwitchGraph* g;
+  std::vector<std::uint32_t> weights;   // per switch
+  std::vector<SwitchId> sources;
+  std::uint64_t total_weight = 0;       // sum of weights
+  bool targets_weighted_only = false;   // diameter over weighted targets only
+};
+
+// ---- scalar reference kernel -------------------------------------------
+
+ApspResult scalar_block(const ApspInput& in, std::size_t begin, std::size_t end,
+                        std::vector<std::uint32_t>& dist,
+                        std::vector<SwitchId>& queue) {
+  const HostSwitchGraph& g = *in.g;
+  const std::uint32_t m = g.num_switches();
+  constexpr std::uint32_t kInf = HostMetrics::kUnreachable;
+  ApspResult out;
+  for (std::size_t i = begin; i < end; ++i) {
+    const SwitchId src = in.sources[i];
+    dist.assign(m, kInf);
+    queue.clear();
+    queue.push_back(src);
+    dist[src] = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t reached_weight = in.weights[src];
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const SwitchId v = queue[head];
+      const std::uint32_t dv = dist[v];
+      for (SwitchId u : g.neighbors(v)) {
+        if (dist[u] != kInf) continue;
+        dist[u] = dv + 1;
+        queue.push_back(u);
+        const std::uint32_t wu = in.weights[u];
+        if (wu > 0) {
+          sum += static_cast<std::uint64_t>(wu) * (dv + 1);
+          reached_weight += wu;
+          out.max_dist = std::max(out.max_dist, dv + 1);
+        } else if (!in.targets_weighted_only) {
+          out.max_dist = std::max(out.max_dist, dv + 1);
+        }
+      }
+    }
+    out.ordered_sum += static_cast<std::uint64_t>(in.weights[src]) * sum;
+    if (reached_weight != in.total_weight) out.all_reached = false;
+  }
+  return out;
+}
+
+// ---- bit-parallel kernel --------------------------------------------
+
+// Runs up to 64 BFS sources simultaneously: frontier[v] / reached[v] hold a
+// bit per source. One level-synchronous round ORs each vertex's neighbor
+// frontiers; newly set bits give the distance of that (source, vertex)
+// pair. Total newly-set bits across all rounds is |block| * m, so the
+// per-bit accumulation is linear in output size.
+ApspResult bitparallel_block(const ApspInput& in, std::size_t begin, std::size_t end,
+                             std::vector<std::uint64_t>& frontier,
+                             std::vector<std::uint64_t>& next,
+                             std::vector<std::uint64_t>& reached) {
+  const HostSwitchGraph& g = *in.g;
+  const std::uint32_t m = g.num_switches();
+  const std::size_t block = end - begin;
+  ApspResult out;
+
+  frontier.assign(m, 0);
+  reached.assign(m, 0);
+  std::vector<std::uint64_t> dist_sum(block, 0);
+  std::vector<std::uint64_t> reached_weight(block, 0);
+  for (std::size_t j = 0; j < block; ++j) {
+    const SwitchId src = in.sources[begin + j];
+    frontier[src] |= 1ULL << j;
+    reached[src] |= 1ULL << j;
+    reached_weight[j] = in.weights[src];
+  }
+
+  for (std::uint32_t round = 1; round <= m; ++round) {
+    next.assign(m, 0);
+    bool any = false;
+    for (SwitchId v = 0; v < m; ++v) {
+      std::uint64_t acc = 0;
+      for (SwitchId u : g.neighbors(v)) acc |= frontier[u];
+      const std::uint64_t fresh = acc & ~reached[v];
+      if (fresh == 0) continue;
+      any = true;
+      next[v] = fresh;
+      reached[v] |= fresh;
+      const std::uint32_t wv = in.weights[v];
+      if (wv > 0 || !in.targets_weighted_only) {
+        out.max_dist = std::max(out.max_dist, round);
+      }
+      if (wv > 0) {
+        std::uint64_t bits = fresh;
+        while (bits) {
+          const int j = __builtin_ctzll(bits);
+          bits &= bits - 1;
+          dist_sum[static_cast<std::size_t>(j)] +=
+              static_cast<std::uint64_t>(wv) * round;
+          reached_weight[static_cast<std::size_t>(j)] += wv;
+        }
+      }
+    }
+    if (!any) break;
+    frontier.swap(next);
+  }
+
+  for (std::size_t j = 0; j < block; ++j) {
+    const SwitchId src = in.sources[begin + j];
+    out.ordered_sum += static_cast<std::uint64_t>(in.weights[src]) * dist_sum[j];
+    if (reached_weight[j] != in.total_weight) out.all_reached = false;
+  }
+  // The bit-parallel kernel tracks max_dist only over weighted targets; for
+  // unweighted-target diameters (switch metrics) every weight is 1, so the
+  // distinction never bites there.
+  return out;
+}
+
+ApspResult run_apsp(const ApspInput& in, AsplKernel kernel, ThreadPool* pool) {
+  const std::uint32_t m = in.g->num_switches();
+  const bool use_bits =
+      kernel == AsplKernel::kBitParallel ||
+      (kernel == AsplKernel::kAuto && m >= 64 && in.sources.size() >= 64);
+
+  const std::size_t block_size = use_bits ? 64 : 256;
+  const std::size_t blocks = (in.sources.size() + block_size - 1) / block_size;
+
+  std::mutex merge_mutex;
+  ApspResult total;
+  auto body = [&](std::size_t b) {
+    const std::size_t begin = b * block_size;
+    const std::size_t end = std::min(in.sources.size(), begin + block_size);
+    ApspResult part;
+    if (use_bits) {
+      std::vector<std::uint64_t> frontier, next, reached;
+      part = bitparallel_block(in, begin, end, frontier, next, reached);
+    } else {
+      std::vector<std::uint32_t> dist;
+      std::vector<SwitchId> queue;
+      queue.reserve(m);
+      part = scalar_block(in, begin, end, dist, queue);
+    }
+    std::lock_guard lock(merge_mutex);
+    total.ordered_sum += part.ordered_sum;
+    total.max_dist = std::max(total.max_dist, part.max_dist);
+    total.all_reached = total.all_reached && part.all_reached;
+  };
+
+  if (pool && blocks > 1) {
+    pool->parallel_for(blocks, body);
+  } else {
+    for (std::size_t b = 0; b < blocks; ++b) body(b);
+  }
+  return total;
+}
+
+}  // namespace
+
+HostMetrics compute_host_metrics(const HostSwitchGraph& g, AsplKernel kernel,
+                                 ThreadPool* pool) {
+  ORP_REQUIRE(g.fully_attached(), "metrics need every host attached to a switch");
+  const std::uint64_t n = g.num_hosts();
+  HostMetrics result;
+  if (n < 2) return result;
+
+  ApspInput in;
+  in.g = &g;
+  in.targets_weighted_only = true;
+  in.weights.resize(g.num_switches());
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    in.weights[s] = g.hosts_on(s);
+    if (in.weights[s] > 0) in.sources.push_back(s);
+  }
+  in.total_weight = n;
+
+  const ApspResult apsp = run_apsp(in, kernel, pool);
+  const std::uint64_t pairs = n * (n - 1) / 2;
+  if (!apsp.all_reached) {
+    result.connected = false;
+    result.h_aspl = std::numeric_limits<double>::infinity();
+    result.diameter = HostMetrics::kUnreachable;
+    return result;
+  }
+  result.total_length = apsp.ordered_sum / 2 + 2 * pairs;
+  result.h_aspl = static_cast<double>(result.total_length) / static_cast<double>(pairs);
+  result.diameter = apsp.max_dist + 2;  // +2 for the two host-switch hops
+  if (in.sources.size() == 1) result.diameter = 2;  // all hosts on one switch
+  return result;
+}
+
+SwitchMetrics compute_switch_metrics(const HostSwitchGraph& g, AsplKernel kernel,
+                                     ThreadPool* pool) {
+  const std::uint64_t m = g.num_switches();
+  SwitchMetrics result;
+  if (m < 2) return result;
+
+  ApspInput in;
+  in.g = &g;
+  in.targets_weighted_only = false;
+  in.weights.assign(g.num_switches(), 1);
+  in.sources.resize(g.num_switches());
+  for (SwitchId s = 0; s < g.num_switches(); ++s) in.sources[s] = s;
+  in.total_weight = m;
+
+  const ApspResult apsp = run_apsp(in, kernel, pool);
+  const std::uint64_t pairs = m * (m - 1) / 2;
+  if (!apsp.all_reached) {
+    result.connected = false;
+    result.aspl = std::numeric_limits<double>::infinity();
+    result.diameter = HostMetrics::kUnreachable;
+    return result;
+  }
+  result.total_length = apsp.ordered_sum / 2;
+  result.aspl = static_cast<double>(result.total_length) / static_cast<double>(pairs);
+  result.diameter = apsp.max_dist;
+  return result;
+}
+
+}  // namespace orp

@@ -1,0 +1,36 @@
+#pragma once
+// Umbrella header: the whole ORP toolkit through one include.
+//
+//   #include "orp.hpp"
+//   orp::SolveResult design = orp::solve_orp(1024, 16);
+//
+// Individual headers remain the fine-grained entry points; this exists for
+// quick experiments and the examples.
+
+#include "common/cli.hpp"        // IWYU pragma: export
+#include "common/prng.hpp"       // IWYU pragma: export
+#include "common/table.hpp"      // IWYU pragma: export
+#include "common/thread_pool.hpp"  // IWYU pragma: export
+#include "cost/evaluate.hpp"     // IWYU pragma: export
+#include "cost/placement.hpp"    // IWYU pragma: export
+#include "hsg/analysis.hpp"      // IWYU pragma: export
+#include "hsg/bounds.hpp"        // IWYU pragma: export
+#include "hsg/host_switch_graph.hpp"  // IWYU pragma: export
+#include "hsg/io.hpp"            // IWYU pragma: export
+#include "hsg/metrics.hpp"       // IWYU pragma: export
+#include "partition/partition.hpp"  // IWYU pragma: export
+#include "search/annealer.hpp"   // IWYU pragma: export
+#include "search/clique.hpp"     // IWYU pragma: export
+#include "search/odp.hpp"        // IWYU pragma: export
+#include "search/operations.hpp" // IWYU pragma: export
+#include "search/random_init.hpp"  // IWYU pragma: export
+#include "search/solver.hpp"     // IWYU pragma: export
+#include "sim/machine.hpp"       // IWYU pragma: export
+#include "sim/nas.hpp"           // IWYU pragma: export
+#include "sim/packet.hpp"        // IWYU pragma: export
+#include "sim/traffic.hpp"       // IWYU pragma: export
+#include "sim/updown.hpp"        // IWYU pragma: export
+#include "topo/attach.hpp"       // IWYU pragma: export
+#include "topo/dragonfly.hpp"    // IWYU pragma: export
+#include "topo/fattree.hpp"      // IWYU pragma: export
+#include "topo/torus.hpp"        // IWYU pragma: export

@@ -1,0 +1,115 @@
+#include "partition/coarsen.hpp"
+
+#include <numeric>
+
+namespace orp {
+
+CoarseLevel coarsen_once(const CsrGraph& fine, Xoshiro256& rng) {
+  const std::uint32_t nv = fine.num_vertices();
+  constexpr std::uint32_t kUnmatched = 0xffffffffu;
+  std::vector<std::uint32_t> match(nv, kUnmatched);
+
+  std::vector<std::uint32_t> order(nv);
+  std::iota(order.begin(), order.end(), 0);
+  shuffle(order, rng);
+
+  // Heavy-edge matching: each unmatched vertex grabs its heaviest
+  // unmatched neighbor (ties broken by first encounter).
+  for (std::uint32_t v : order) {
+    if (match[v] != kUnmatched) continue;
+    const auto neighbors = fine.neighbors(v);
+    const auto weights = fine.edge_weights(v);
+    std::uint32_t best = kUnmatched;
+    std::uint32_t best_weight = 0;
+    for (std::size_t e = 0; e < neighbors.size(); ++e) {
+      const std::uint32_t u = neighbors[e];
+      if (match[u] == kUnmatched && weights[e] > best_weight) {
+        best = u;
+        best_weight = weights[e];
+      }
+    }
+    match[v] = (best == kUnmatched) ? v : best;
+    if (best != kUnmatched) match[best] = v;
+  }
+
+  // Assign coarse ids (matched pair -> one id).
+  CoarseLevel level;
+  level.map.assign(nv, kUnmatched);
+  std::uint32_t coarse_count = 0;
+  for (std::uint32_t v = 0; v < nv; ++v) {
+    if (level.map[v] != kUnmatched) continue;
+    level.map[v] = coarse_count;
+    level.map[match[v]] = coarse_count;  // match[v] == v for singletons
+    ++coarse_count;
+  }
+
+  // Contract: accumulate coarse adjacency with a marker array (standard
+  // O(|E|) bucket-free merge).
+  CsrGraph& coarse = level.graph;
+  coarse.vwgt.assign(coarse_count, 0);
+  for (std::uint32_t v = 0; v < nv; ++v) coarse.vwgt[level.map[v]] += fine.vwgt[v];
+
+  coarse.xadj.assign(coarse_count + 1, 0);
+  std::vector<std::uint32_t> marker(coarse_count, kUnmatched);
+  std::vector<std::uint32_t> scratch_ids;
+  std::vector<std::uint32_t> scratch_weights;
+  // Two passes would save memory; one pass with growing arrays is simpler.
+  std::vector<std::vector<std::uint32_t>> coarse_adj(coarse_count);
+  std::vector<std::vector<std::uint32_t>> coarse_wgt(coarse_count);
+  for (std::uint32_t v = 0; v < nv; ++v) {
+    const std::uint32_t cv = level.map[v];
+    if (match[v] != v && match[v] < v) continue;  // handle each pair once
+    scratch_ids.clear();
+    scratch_weights.clear();
+    auto absorb = [&](std::uint32_t fine_vertex) {
+      const auto neighbors = fine.neighbors(fine_vertex);
+      const auto weights = fine.edge_weights(fine_vertex);
+      for (std::size_t e = 0; e < neighbors.size(); ++e) {
+        const std::uint32_t cu = level.map[neighbors[e]];
+        if (cu == cv) continue;  // internal edge vanishes
+        if (marker[cu] == kUnmatched) {
+          marker[cu] = static_cast<std::uint32_t>(scratch_ids.size());
+          scratch_ids.push_back(cu);
+          scratch_weights.push_back(weights[e]);
+        } else {
+          scratch_weights[marker[cu]] += weights[e];
+        }
+      }
+    };
+    absorb(v);
+    if (match[v] != v) absorb(match[v]);
+    for (std::uint32_t cu : scratch_ids) marker[cu] = kUnmatched;
+    coarse_adj[cv] = scratch_ids;
+    coarse_wgt[cv] = scratch_weights;
+  }
+  for (std::uint32_t cv = 0; cv < coarse_count; ++cv) {
+    coarse.xadj[cv + 1] =
+        coarse.xadj[cv] + static_cast<std::uint32_t>(coarse_adj[cv].size());
+  }
+  coarse.adjncy.reserve(coarse.xadj.back());
+  coarse.adjwgt.reserve(coarse.xadj.back());
+  for (std::uint32_t cv = 0; cv < coarse_count; ++cv) {
+    coarse.adjncy.insert(coarse.adjncy.end(), coarse_adj[cv].begin(), coarse_adj[cv].end());
+    coarse.adjwgt.insert(coarse.adjwgt.end(), coarse_wgt[cv].begin(), coarse_wgt[cv].end());
+  }
+  return level;
+}
+
+std::vector<CoarseLevel> coarsen_chain(const CsrGraph& graph, Xoshiro256& rng,
+                                       std::uint32_t target_vertices) {
+  std::vector<CoarseLevel> chain;
+  const CsrGraph* current = &graph;
+  while (current->num_vertices() > target_vertices) {
+    CoarseLevel level = coarsen_once(*current, rng);
+    // Stop when matching stalls (dense or star-like graphs stop shrinking).
+    if (level.graph.num_vertices() >
+        current->num_vertices() - current->num_vertices() / 10) {
+      break;
+    }
+    chain.push_back(std::move(level));
+    current = &chain.back().graph;
+  }
+  return chain;
+}
+
+}  // namespace orp

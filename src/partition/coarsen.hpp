@@ -1,0 +1,31 @@
+#pragma once
+// Multilevel coarsening via heavy-edge matching (Karypis & Kumar).
+//
+// Each level matches vertices with their heaviest unmatched neighbor
+// (random visiting order) and contracts matched pairs; parallel edges merge
+// with summed weights, so the coarse graph's cuts equal the fine graph's
+// cuts under the projected partition. Coarsening stops when the graph is
+// small enough for direct initial partitioning or stops shrinking.
+
+#include <vector>
+
+#include "common/prng.hpp"
+#include "partition/csr.hpp"
+
+namespace orp {
+
+struct CoarseLevel {
+  CsrGraph graph;                  ///< the coarser graph
+  std::vector<std::uint32_t> map;  ///< fine vertex -> coarse vertex
+};
+
+/// One round of heavy-edge matching + contraction.
+CoarseLevel coarsen_once(const CsrGraph& fine, Xoshiro256& rng);
+
+/// Full coarsening chain; level[0] coarsens the input, level.back().graph
+/// is the coarsest. Stops at `target_vertices` or when a round removes
+/// fewer than 10% of vertices.
+std::vector<CoarseLevel> coarsen_chain(const CsrGraph& graph, Xoshiro256& rng,
+                                       std::uint32_t target_vertices = 48);
+
+}  // namespace orp

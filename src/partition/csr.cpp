@@ -1,0 +1,114 @@
+#include "partition/csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/require.hpp"
+
+namespace orp {
+
+std::uint64_t CsrGraph::total_vertex_weight() const {
+  return std::accumulate(vwgt.begin(), vwgt.end(), std::uint64_t{0});
+}
+
+void CsrGraph::check_invariants() const {
+  auto fail = [](const char* what) { throw std::logic_error(std::string("CsrGraph: ") + what); };
+  const std::uint32_t nv = num_vertices();
+  if (xadj.size() != nv + 1u) fail("xadj size mismatch");
+  if (xadj.front() != 0 || xadj.back() != adjncy.size()) fail("xadj range broken");
+  if (adjwgt.size() != adjncy.size()) fail("adjwgt size mismatch");
+  for (std::uint32_t v = 0; v < nv; ++v) {
+    if (xadj[v] > xadj[v + 1]) fail("xadj not monotone");
+    for (std::uint32_t e = xadj[v]; e < xadj[v + 1]; ++e) {
+      const std::uint32_t u = adjncy[e];
+      if (u >= nv) fail("neighbor out of range");
+      if (u == v) fail("self-loop");
+      // Find the reverse edge and check its weight matches.
+      bool found = false;
+      for (std::uint32_t f = xadj[u]; f < xadj[u + 1]; ++f) {
+        if (adjncy[f] == v && adjwgt[f] == adjwgt[e]) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) fail("asymmetric adjacency or weight");
+    }
+  }
+}
+
+CsrGraph csr_from_edges(std::uint32_t num_vertices,
+                        const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges,
+                        const std::vector<std::uint32_t>& edge_weights,
+                        const std::vector<std::uint32_t>& vertex_weights) {
+  ORP_REQUIRE(edge_weights.empty() || edge_weights.size() == edges.size(),
+              "edge weight count mismatch");
+  ORP_REQUIRE(vertex_weights.empty() || vertex_weights.size() == num_vertices,
+              "vertex weight count mismatch");
+  CsrGraph g;
+  g.vwgt = vertex_weights.empty() ? std::vector<std::uint32_t>(num_vertices, 1)
+                                  : vertex_weights;
+  std::vector<std::uint32_t> degree(num_vertices, 0);
+  for (const auto& [a, b] : edges) {
+    ORP_REQUIRE(a < num_vertices && b < num_vertices && a != b, "bad edge");
+    ++degree[a];
+    ++degree[b];
+  }
+  g.xadj.assign(num_vertices + 1, 0);
+  for (std::uint32_t v = 0; v < num_vertices; ++v) g.xadj[v + 1] = g.xadj[v] + degree[v];
+  g.adjncy.resize(g.xadj.back());
+  g.adjwgt.resize(g.xadj.back());
+  std::vector<std::uint32_t> cursor(g.xadj.begin(), g.xadj.end() - 1);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto [a, b] = edges[i];
+    const std::uint32_t w = edge_weights.empty() ? 1 : edge_weights[i];
+    g.adjncy[cursor[a]] = b;
+    g.adjwgt[cursor[a]++] = w;
+    g.adjncy[cursor[b]] = a;
+    g.adjwgt[cursor[b]++] = w;
+  }
+  return g;
+}
+
+CsrGraph csr_from_host_switch_graph(const HostSwitchGraph& g) {
+  const std::uint32_t n = g.num_hosts();
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(g.num_edges());
+  for (HostId h = 0; h < n; ++h) {
+    if (g.host_attached(h)) edges.emplace_back(h, n + g.host_switch(h));
+  }
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    for (SwitchId t : g.neighbors(s)) {
+      if (s < t) edges.emplace_back(n + s, n + t);
+    }
+  }
+  return csr_from_edges(n + g.num_switches(), edges);
+}
+
+CsrGraph csr_subgraph(const CsrGraph& g, const std::vector<std::uint32_t>& vertices,
+                      std::vector<std::uint32_t>& old_to_new) {
+  constexpr std::uint32_t kOutside = 0xffffffffu;
+  old_to_new.assign(g.num_vertices(), kOutside);
+  for (std::uint32_t i = 0; i < vertices.size(); ++i) {
+    ORP_REQUIRE(old_to_new[vertices[i]] == kOutside, "duplicate vertex in subgraph set");
+    old_to_new[vertices[i]] = i;
+  }
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  std::vector<std::uint32_t> weights;
+  std::vector<std::uint32_t> vwgt(vertices.size());
+  for (std::uint32_t i = 0; i < vertices.size(); ++i) {
+    const std::uint32_t v = vertices[i];
+    vwgt[i] = g.vwgt[v];
+    const auto neighbors = g.neighbors(v);
+    const auto edge_weights = g.edge_weights(v);
+    for (std::size_t e = 0; e < neighbors.size(); ++e) {
+      const std::uint32_t u = old_to_new[neighbors[e]];
+      if (u == kOutside || u <= i) continue;  // emit each edge once
+      edges.emplace_back(i, u);
+      weights.push_back(edge_weights[e]);
+    }
+  }
+  return csr_from_edges(static_cast<std::uint32_t>(vertices.size()), edges, weights, vwgt);
+}
+
+}  // namespace orp

@@ -1,0 +1,62 @@
+#pragma once
+// Compressed-sparse-row weighted graph used by the multilevel partitioner
+// (our from-scratch replacement for METIS, §6.2.2).
+//
+// Vertices carry weights (used for balance constraints), edges carry
+// weights (accumulated when coarsening merges parallel edges). For the
+// paper's bandwidth experiment, vertices are hosts + switches with unit
+// weights and all edges have weight 1, so the edge cut counts physical
+// links crossing the partition.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hsg/host_switch_graph.hpp"
+
+namespace orp {
+
+struct CsrGraph {
+  std::vector<std::uint32_t> xadj;    ///< size nv+1; neighbor range offsets
+  std::vector<std::uint32_t> adjncy;  ///< flattened neighbor lists
+  std::vector<std::uint32_t> adjwgt;  ///< edge weight per adjacency entry
+  std::vector<std::uint32_t> vwgt;    ///< vertex weights
+
+  std::uint32_t num_vertices() const noexcept {
+    return static_cast<std::uint32_t>(vwgt.size());
+  }
+  std::uint64_t num_edges() const noexcept { return adjncy.size() / 2; }
+
+  std::span<const std::uint32_t> neighbors(std::uint32_t v) const {
+    return {adjncy.data() + xadj[v], adjncy.data() + xadj[v + 1]};
+  }
+  std::span<const std::uint32_t> edge_weights(std::uint32_t v) const {
+    return {adjwgt.data() + xadj[v], adjwgt.data() + xadj[v + 1]};
+  }
+
+  std::uint64_t total_vertex_weight() const;
+
+  /// Structural validation (symmetry, matching weights, offsets); throws
+  /// std::logic_error on the first violation. For tests.
+  void check_invariants() const;
+};
+
+/// Builds a CSR graph from edge pairs (deduplicated adjacency not required;
+/// pairs must be unique). All weights default to 1 unless given.
+CsrGraph csr_from_edges(std::uint32_t num_vertices,
+                        const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges,
+                        const std::vector<std::uint32_t>& edge_weights = {},
+                        const std::vector<std::uint32_t>& vertex_weights = {});
+
+/// The paper's bandwidth-evaluation graph: vertex ids [0, n) are hosts,
+/// [n, n+m) are switches; host-switch and switch-switch edges with unit
+/// weights, unit vertex weights.
+CsrGraph csr_from_host_switch_graph(const HostSwitchGraph& g);
+
+/// Extracts the vertex-induced subgraph of `vertices` (which must be
+/// unique). `old_to_new` is filled with the reverse mapping for vertices in
+/// the subgraph. Edges leaving the set are dropped.
+CsrGraph csr_subgraph(const CsrGraph& g, const std::vector<std::uint32_t>& vertices,
+                      std::vector<std::uint32_t>& old_to_new);
+
+}  // namespace orp

@@ -1,0 +1,135 @@
+#include "partition/fm.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/require.hpp"
+
+namespace orp {
+
+std::uint64_t bisection_cut(const CsrGraph& g, const std::vector<std::uint8_t>& side) {
+  std::uint64_t cut = 0;
+  for (std::uint32_t v = 0; v < g.num_vertices(); ++v) {
+    const auto neighbors = g.neighbors(v);
+    const auto weights = g.edge_weights(v);
+    for (std::size_t e = 0; e < neighbors.size(); ++e) {
+      if (side[v] != side[neighbors[e]]) cut += weights[e];
+    }
+  }
+  return cut / 2;
+}
+
+namespace {
+
+// Lazy max-heap entry; stale entries (stamp mismatch) are skipped on pop.
+struct HeapEntry {
+  std::int64_t gain;
+  std::uint32_t vertex;
+  std::uint32_t stamp;
+  bool operator<(const HeapEntry& other) const { return gain < other.gain; }
+};
+
+}  // namespace
+
+std::uint64_t fm_refine(const CsrGraph& g, std::vector<std::uint8_t>& side,
+                        const FmOptions& options) {
+  const std::uint32_t nv = g.num_vertices();
+  ORP_REQUIRE(side.size() == nv, "side assignment size mismatch");
+
+  std::uint64_t side_weight[2] = {0, 0};
+  for (std::uint32_t v = 0; v < nv; ++v) side_weight[side[v]] += g.vwgt[v];
+
+  std::vector<std::int64_t> gain(nv);
+  std::vector<std::uint32_t> stamp(nv);
+  std::vector<std::uint8_t> locked(nv);
+  std::uint64_t cut = bisection_cut(g, side);
+
+  auto compute_gain = [&](std::uint32_t v) {
+    std::int64_t external = 0, internal = 0;
+    const auto neighbors = g.neighbors(v);
+    const auto weights = g.edge_weights(v);
+    for (std::size_t e = 0; e < neighbors.size(); ++e) {
+      if (side[v] != side[neighbors[e]]) {
+        external += weights[e];
+      } else {
+        internal += weights[e];
+      }
+    }
+    return external - internal;
+  };
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    std::priority_queue<HeapEntry> heap;
+    std::fill(stamp.begin(), stamp.end(), 0);
+    std::fill(locked.begin(), locked.end(), 0);
+    for (std::uint32_t v = 0; v < nv; ++v) {
+      gain[v] = compute_gain(v);
+      heap.push({gain[v], v, 0});
+    }
+
+    // Trial move sequence with rollback to the best prefix.
+    std::vector<std::uint32_t> moves;
+    moves.reserve(nv);
+    std::uint64_t trial_cut = cut;
+    std::uint64_t best_cut = cut;
+    std::size_t best_prefix = 0;
+    // If the incoming partition violates balance, the first prefix that
+    // restores it is recorded even when its cut is worse.
+    bool best_balanced = side_weight[0] <= options.max_side_weight[0] &&
+                         side_weight[1] <= options.max_side_weight[1];
+
+    while (!heap.empty()) {
+      const HeapEntry top = heap.top();
+      heap.pop();
+      const std::uint32_t v = top.vertex;
+      if (locked[v] || top.stamp != stamp[v]) continue;
+      const std::uint8_t from = side[v];
+      const std::uint8_t to = from ^ 1;
+      // Balance: allow the move if the destination stays under its cap, or
+      // if the source side is the (more) overloaded one.
+      const bool dest_ok = side_weight[to] + g.vwgt[v] <= options.max_side_weight[to];
+      const bool source_overloaded = side_weight[from] > options.max_side_weight[from];
+      if (!dest_ok && !source_overloaded) continue;
+
+      locked[v] = 1;
+      side[v] = to;
+      side_weight[from] -= g.vwgt[v];
+      side_weight[to] += g.vwgt[v];
+      trial_cut = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(trial_cut) - gain[v]);
+      moves.push_back(v);
+      const bool balanced = side_weight[0] <= options.max_side_weight[0] &&
+                            side_weight[1] <= options.max_side_weight[1];
+      if (balanced && (!best_balanced || trial_cut < best_cut)) {
+        best_cut = trial_cut;
+        best_prefix = moves.size();
+        best_balanced = true;
+      }
+      // Update unlocked neighbors' gains.
+      const auto neighbors = g.neighbors(v);
+      for (const std::uint32_t u : neighbors) {
+        if (locked[u]) continue;
+        gain[u] = compute_gain(u);
+        heap.push({gain[u], u, ++stamp[u]});
+      }
+    }
+
+    // Roll back everything after the best prefix.
+    for (std::size_t i = moves.size(); i > best_prefix; --i) {
+      const std::uint32_t v = moves[i - 1];
+      const std::uint8_t from = side[v];
+      side[v] = from ^ 1;
+      side_weight[from] -= g.vwgt[v];
+      side_weight[from ^ 1] += g.vwgt[v];
+    }
+    // Stop when the pass neither improved the cut nor repaired balance
+    // (a balance-repair pass may raise the cut and still deserves another
+    // refinement round).
+    const bool repaired_balance = best_balanced && best_prefix > 0 && best_cut >= cut;
+    if (best_cut >= cut && !repaired_balance) break;
+    cut = best_cut;
+  }
+  return cut;
+}
+
+}  // namespace orp

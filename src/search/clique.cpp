@@ -1,0 +1,49 @@
+#include "search/clique.hpp"
+
+#include "common/require.hpp"
+#include "hsg/bounds.hpp"
+
+namespace orp {
+
+bool clique_feasible(std::uint64_t n, std::uint32_t r) {
+  return clique_switch_count(n, r) != 0;
+}
+
+HostSwitchGraph build_clique_graph(std::uint32_t n, std::uint32_t r) {
+  const std::uint32_t m = clique_switch_count(n, r);
+  ORP_REQUIRE(m != 0, "no clique host-switch graph fits this (n, r)");
+  HostSwitchGraph g(n, m, r);
+  for (SwitchId a = 0; a < m; ++a) {
+    for (SwitchId b = a + 1; b < m; ++b) g.add_switch_edge(a, b);
+  }
+  // Pack hosts: filling switches to capacity maximizes same-switch (2-hop)
+  // pairs because C(k, 2) is convex in k.
+  const std::uint32_t capacity = r - m + 1;
+  HostId next = 0;
+  for (SwitchId s = 0; s < m && next < n; ++s) {
+    for (std::uint32_t i = 0; i < capacity && next < n; ++i) {
+      g.attach_host(next++, s);
+    }
+  }
+  ORP_ASSERT(next == n);
+  return g;
+}
+
+double clique_haspl(std::uint32_t n, std::uint32_t r) {
+  const std::uint32_t m = clique_switch_count(n, r);
+  ORP_REQUIRE(m != 0, "no clique host-switch graph fits this (n, r)");
+  if (n < 2) return 0.0;
+  const std::uint32_t capacity = r - m + 1;
+  // Hosts packed to capacity: `full` switches carry `capacity`, one carries
+  // the remainder.
+  const std::uint32_t full = n / capacity;
+  const std::uint32_t rest = n % capacity;
+  auto pairs2 = [](std::uint64_t k) { return k * (k - 1) / 2; };
+  const std::uint64_t same_switch =
+      static_cast<std::uint64_t>(full) * pairs2(capacity) + pairs2(rest);
+  const std::uint64_t total_pairs = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  const std::uint64_t length = 2 * same_switch + 3 * (total_pairs - same_switch);
+  return static_cast<double>(length) / static_cast<double>(total_pairs);
+}
+
+}  // namespace orp

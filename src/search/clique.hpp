@@ -1,0 +1,28 @@
+#pragma once
+// Clique host-switch graphs (§3.2 and the Appendix).
+//
+// When r < n <= m(r-m+1) for some m, connecting all switches into a clique
+// is provably h-ASPL-optimal (Appendix, Theorem 3): every cross-switch
+// host pair is 3 hops, every same-switch pair 2 hops. Lemma 3 says the
+// optimum uses the minimum feasible m, and concentrating hosts (filling
+// switches to capacity) maximizes the number of 2-hop pairs.
+
+#include <cstdint>
+
+#include "hsg/host_switch_graph.hpp"
+
+namespace orp {
+
+/// True when a clique host-switch graph can carry n hosts with radix r.
+bool clique_feasible(std::uint64_t n, std::uint32_t r);
+
+/// Builds the optimal clique host-switch graph: minimum m with
+/// m(r-m+1) >= n, switches fully interconnected, hosts packed to capacity.
+/// Throws std::invalid_argument when infeasible.
+HostSwitchGraph build_clique_graph(std::uint32_t n, std::uint32_t r);
+
+/// Closed-form h-ASPL of the graph build_clique_graph returns (exact; used
+/// to cross-check the metric kernels and as the known optimum in tests).
+double clique_haspl(std::uint32_t n, std::uint32_t r);
+
+}  // namespace orp

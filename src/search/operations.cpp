@@ -1,0 +1,88 @@
+#include "search/operations.hpp"
+
+namespace orp {
+
+bool swap_valid(const HostSwitchGraph& g, const SwapMove& move) {
+  const auto [a, b, c, d] = move;
+  if (a == c || b == d) return false;  // would create a self-loop
+  if (!g.has_switch_edge(a, b) || !g.has_switch_edge(c, d)) return false;
+  if (g.has_switch_edge(a, c) || g.has_switch_edge(b, d)) return false;
+  return true;
+}
+
+void apply_swap(HostSwitchGraph& g, const SwapMove& move) {
+  g.remove_switch_edge(move.a, move.b);
+  g.remove_switch_edge(move.c, move.d);
+  g.add_switch_edge(move.a, move.c);
+  g.add_switch_edge(move.b, move.d);
+}
+
+bool swing_valid(const HostSwitchGraph& g, const SwingMove& move) {
+  const SwitchId a = move.a, b = move.b, c = move.c;
+  if (a == c || b == c) return false;
+  if (!g.has_switch_edge(a, b)) return false;
+  if (g.host_switch(move.h) != c) return false;
+  if (g.has_switch_edge(a, c)) return false;
+  return true;
+}
+
+void apply_swing(HostSwitchGraph& g, const SwingMove& move) {
+  g.remove_switch_edge(move.a, move.b);
+  g.move_host(move.h, move.b);
+  g.add_switch_edge(move.a, move.c);
+}
+
+std::optional<SwapMove> propose_swap(
+    const HostSwitchGraph& g,
+    const std::vector<std::pair<SwitchId, SwitchId>>& edges, Xoshiro256& rng,
+    int attempts) {
+  if (edges.size() < 2) return std::nullopt;
+  for (int i = 0; i < attempts; ++i) {
+    const std::size_t e1 = rng.below(edges.size());
+    std::size_t e2 = rng.below(edges.size() - 1);
+    if (e2 >= e1) ++e2;
+    auto [a, b] = edges[e1];
+    auto [c, d] = edges[e2];
+    if (rng.bernoulli(0.5)) std::swap(a, b);
+    if (rng.bernoulli(0.5)) std::swap(c, d);
+    const SwapMove move{a, b, c, d};
+    if (swap_valid(g, move)) return move;
+  }
+  return std::nullopt;
+}
+
+std::optional<SwingMove> propose_swing(
+    const HostSwitchGraph& g,
+    const std::vector<std::pair<SwitchId, SwitchId>>& edges, Xoshiro256& rng,
+    int attempts) {
+  if (edges.empty() || g.num_hosts() == 0) return std::nullopt;
+  for (int i = 0; i < attempts; ++i) {
+    auto [a, b] = edges[rng.below(edges.size())];
+    if (rng.bernoulli(0.5)) std::swap(a, b);
+    const HostId h = static_cast<HostId>(rng.below(g.num_hosts()));
+    const SwingMove move{a, b, g.host_switch(h), h};
+    if (swing_valid(g, move)) return move;
+  }
+  return std::nullopt;
+}
+
+std::optional<SwingMove> propose_completion_swing(const HostSwitchGraph& g,
+                                                  const SwingMove& first,
+                                                  Xoshiro256& rng,
+                                                  int attempts) {
+  // State after `first`: host h sits on b, edge {a,c} exists. We need a
+  // neighbor d of c (d != a, else the completion undoes the first swing)
+  // such that swing(d, c, b) is valid; net effect of both swings is the
+  // swap {a,b},{d,c} -> {a,c},{d,b}.
+  const auto neighbors = g.neighbors(first.c);
+  if (neighbors.empty()) return std::nullopt;
+  for (int i = 0; i < attempts; ++i) {
+    const SwitchId d = neighbors[rng.below(neighbors.size())];
+    if (d == first.a || d == first.b) continue;
+    const SwingMove completion{d, first.c, first.b, first.h};
+    if (swing_valid(g, completion)) return completion;
+  }
+  return std::nullopt;
+}
+
+}  // namespace orp

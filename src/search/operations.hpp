@@ -1,0 +1,68 @@
+#pragma once
+// The local-search neighborhood operations of §5.
+//
+//  * swap  (Fig. 2): rewires two switch-switch edges {a,b},{c,d} into
+//    {a,c},{b,d}; preserves every switch's degree and host count, so it
+//    explores *regular* host-switch graphs only.
+//  * swing (Fig. 3): converts {a,b} plus host h on c into {a,c} with h on
+//    b; moves one host, so it explores arbitrary host distributions.
+//  * 2-neighbor swing (Fig. 4): a swing, and if that candidate is rejected
+//    a completing swing whose net effect is a swap — implemented in the
+//    annealer on top of these primitives.
+//
+// Every operation is exactly invertible; `inverse()` returns the move that
+// restores the previous graph, which is how the annealer rolls back.
+
+#include <optional>
+
+#include "common/prng.hpp"
+#include "hsg/host_switch_graph.hpp"
+
+namespace orp {
+
+/// Removes {a,b} and {c,d}; adds {a,c} and {b,d}.
+struct SwapMove {
+  SwitchId a, b, c, d;
+  SwapMove inverse() const noexcept { return {a, c, b, d}; }
+};
+
+/// Removes {a,b}; moves host h from c to b; adds {a,c}.
+struct SwingMove {
+  SwitchId a, b, c;
+  HostId h;
+  SwingMove inverse() const noexcept { return {a, c, b, h}; }
+};
+
+/// True when the move's preconditions hold on `g` (edges present, no
+/// duplicate/self edges created, port budgets respected).
+bool swap_valid(const HostSwitchGraph& g, const SwapMove& move);
+bool swing_valid(const HostSwitchGraph& g, const SwingMove& move);
+
+/// Applies a validated move. Behaviour is undefined (throws from the graph
+/// contract checks) if the move is invalid.
+void apply_swap(HostSwitchGraph& g, const SwapMove& move);
+void apply_swing(HostSwitchGraph& g, const SwingMove& move);
+
+/// Uniformly proposes a random valid swap over the given switch-switch
+/// edge list (pairs with a < b); returns nullopt after `attempts` misses.
+std::optional<SwapMove> propose_swap(
+    const HostSwitchGraph& g,
+    const std::vector<std::pair<SwitchId, SwitchId>>& edges, Xoshiro256& rng,
+    int attempts = 32);
+
+/// Uniformly proposes a random valid swing; returns nullopt after
+/// `attempts` misses (e.g. when every host sits on an endpoint).
+std::optional<SwingMove> propose_swing(
+    const HostSwitchGraph& g,
+    const std::vector<std::pair<SwitchId, SwitchId>>& edges, Xoshiro256& rng,
+    int attempts = 32);
+
+/// Given an applied first swing (a,b,c,h), proposes the completing swing
+/// (d,c,b,h) of the 2-neighbor operation: d is a neighbor of c distinct
+/// from a and b with no existing {d,b} edge.
+std::optional<SwingMove> propose_completion_swing(const HostSwitchGraph& g,
+                                                  const SwingMove& first,
+                                                  Xoshiro256& rng,
+                                                  int attempts = 8);
+
+}  // namespace orp

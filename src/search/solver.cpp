@@ -1,0 +1,82 @@
+#include "search/solver.hpp"
+
+#include "hsg/bounds.hpp"
+#include "search/clique.hpp"
+#include "common/thread_pool.hpp"
+#include "search/random_init.hpp"
+
+namespace orp {
+
+SolveResult solve_orp(std::uint32_t n, std::uint32_t r, const SolveOptions& options) {
+  ORP_REQUIRE(n >= 2, "need at least two hosts");
+  ORP_REQUIRE(r >= 3, "radix must be at least 3");
+
+  const std::uint32_t m_opt = optimal_switch_count(n, r);
+
+  // Clique shortcut: provably optimal, no search needed (Appendix Thm. 3).
+  if (!options.force_switch_count && clique_feasible(n, r)) {
+    SolveResult result{build_clique_graph(n, r), {}};
+    result.metrics = compute_host_metrics(result.graph, options.kernel, options.pool);
+    result.switch_count = result.graph.num_switches();
+    result.predicted_m_opt = m_opt;
+    result.haspl_lower_bound = haspl_lower_bound(n, r);
+    result.continuous_moore_bound =
+        continuous_haspl_moore_bound(n, result.switch_count, r);
+    result.used_clique = true;
+    return result;
+  }
+
+  const std::uint32_t m = options.force_switch_count.value_or(m_opt);
+  ORP_REQUIRE(random_init_feasible(n, m, r),
+              "no connected host-switch graph with the requested (n, m, r)");
+
+  Xoshiro256 seeder(options.seed);
+  const int restarts = std::max(options.restarts, 1);
+
+  // Each restart gets a deterministic sub-stream so results do not depend
+  // on scheduling; with a thread pool the restarts run concurrently (and
+  // the annealer then keeps its metric kernel serial to avoid nested
+  // oversubscription).
+  std::vector<Xoshiro256> streams;
+  streams.reserve(static_cast<std::size_t>(restarts));
+  for (int run = 0; run < restarts; ++run) streams.push_back(seeder.split());
+
+  std::vector<std::optional<AnnealResult>> results(
+      static_cast<std::size_t>(restarts));
+  auto run_one = [&](std::size_t run) {
+    Xoshiro256 rng = streams[run];
+    const HostSwitchGraph initial =
+        options.regular_start
+            ? random_regular_host_switch_graph(n, m, r, rng)
+            : random_host_switch_graph(n, m, r, rng);
+    AnnealOptions anneal_options;
+    anneal_options.iterations = options.iterations;
+    anneal_options.seed = rng();
+    anneal_options.mode = options.mode;
+    anneal_options.kernel = options.kernel;
+    anneal_options.pool = (options.pool && restarts > 1) ? nullptr : options.pool;
+    results[run] = anneal(initial, anneal_options);
+  };
+  if (options.pool && restarts > 1) {
+    options.pool->parallel_for(static_cast<std::size_t>(restarts), run_one);
+  } else {
+    for (int run = 0; run < restarts; ++run) run_one(static_cast<std::size_t>(run));
+  }
+
+  std::optional<AnnealResult> best;
+  for (auto& result : results) {
+    if (!best ||
+        result->best_metrics.total_length < best->best_metrics.total_length) {
+      best = std::move(result);
+    }
+  }
+
+  SolveResult result{std::move(best->best), best->best_metrics};
+  result.switch_count = m;
+  result.predicted_m_opt = m_opt;
+  result.haspl_lower_bound = haspl_lower_bound(n, r);
+  result.continuous_moore_bound = continuous_haspl_moore_bound(n, m, r);
+  return result;
+}
+
+}  // namespace orp

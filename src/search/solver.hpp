@@ -1,0 +1,53 @@
+#pragma once
+// The end-to-end ORP solver (§5.3, "our proposed topology is generated as
+// follows").
+//
+// Given order n and radix r:
+//   1. If all hosts fit on one switch (n <= r), that single switch is the
+//      optimum (h-ASPL = 2).
+//   2. If a clique host-switch graph fits (n <= m(r-m+1) for some m), the
+//      clique construction is provably optimal (Appendix).
+//   3. Otherwise predict the optimal switch count m_opt as the minimizer
+//      of the continuous Moore bound and run simulated annealing with the
+//      2-neighbor swing operation at that m.
+//
+// `force_switch_count` overrides step 3's m (used by the Fig. 5 sweeps);
+// the clique shortcut is skipped whenever m is forced.
+
+#include <cstdint>
+#include <optional>
+
+#include "hsg/metrics.hpp"
+#include "search/annealer.hpp"
+
+namespace orp {
+
+struct SolveOptions {
+  std::uint64_t iterations = 20000;   ///< SA iterations per restart
+  int restarts = 1;                   ///< independent SA runs; best kept
+  std::uint64_t seed = 1;
+  MoveMode mode = MoveMode::kTwoNeighborSwing;
+  AsplKernel kernel = AsplKernel::kAuto;
+  ThreadPool* pool = nullptr;
+  std::optional<std::uint32_t> force_switch_count;
+  /// Use the regular initializer (balanced hosts; needed for kSwap mode
+  /// which cannot change the host distribution).
+  bool regular_start = false;
+};
+
+struct SolveResult {
+  HostSwitchGraph graph;
+  HostMetrics metrics;
+  std::uint32_t switch_count = 0;       ///< m of the returned graph
+  std::uint32_t predicted_m_opt = 0;    ///< continuous-Moore minimizer
+  double haspl_lower_bound = 0.0;       ///< Theorem 2
+  double continuous_moore_bound = 0.0;  ///< at the returned m
+  bool used_clique = false;             ///< solved by construction, no SA
+};
+
+/// Solves ORP(n, r). Throws std::invalid_argument on infeasible inputs
+/// (e.g. a forced m with too few total ports).
+SolveResult solve_orp(std::uint32_t n, std::uint32_t r,
+                      const SolveOptions& options = {});
+
+}  // namespace orp

@@ -1,0 +1,38 @@
+#pragma once
+// Max-min fair bandwidth allocation (progressive filling).
+//
+// This is the fluid model at the heart of flow-level network simulators
+// (SimGrid's network core solves the same allocation): all flows increase
+// their rate together until a link saturates; flows crossing a saturated
+// link are frozen at the current rate; repeat until every flow is frozen.
+// Only links actually carrying active flows participate, so the cost per
+// solve is O(#filling-steps * touched links + flows * path length).
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/routing.hpp"
+
+namespace orp {
+
+/// Solves max-min rates for `flows` (each a list of directed link ids)
+/// where every link has identical capacity `link_capacity`. `rates[i]`
+/// receives flow i's allocation. Empty paths get infinite rate (callers
+/// never produce them). Scratch buffers are reused across calls.
+class FairShareSolver {
+ public:
+  explicit FairShareSolver(std::uint32_t num_links, double link_capacity);
+
+  void solve(const std::vector<std::vector<LinkId>>& paths,
+             const std::vector<std::uint8_t>& active,
+             std::vector<double>& rates);
+
+ private:
+  double capacity_;
+  std::vector<double> remaining_;       // per touched link
+  std::vector<std::uint32_t> count_;    // unfixed flows per touched link
+  std::vector<std::uint32_t> link_slot_;  // global link id -> touched slot
+  std::vector<LinkId> touched_;
+};
+
+}  // namespace orp

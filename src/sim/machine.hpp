@@ -1,0 +1,115 @@
+#pragma once
+// The simulated parallel machine: a host-switch graph with routing, a
+// fluid flow engine, and an MPI-like communication layer (§6.2.1's
+// replacement for SimGrid + MVAPICH2).
+//
+// Execution model: applications are sequences of *steps*; each step is
+// either per-rank computation or a communication phase (a set of messages
+// injected simultaneously). Within a phase, flows share link bandwidth
+// max-min fairly and the phase lasts until its slowest message finishes —
+// this mirrors loosely-synchronous bulk applications like the NAS suite.
+//
+// Collectives decompose into phases of point-to-point messages using the
+// textbook algorithms MPI implementations pick at these sizes:
+//   bcast/reduce     binomial tree
+//   allreduce        recursive doubling (reduce+bcast for non-power-of-2)
+//   allgather        recursive doubling (ring for non-power-of-2)
+//   alltoall(v)      pairwise exchange (XOR partners for power-of-2 ranks)
+//   barrier          zero-byte recursive doubling
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hsg/host_switch_graph.hpp"
+#include "sim/fairshare.hpp"
+#include "sim/params.hpp"
+#include "sim/routing.hpp"
+
+namespace orp {
+
+using Rank = std::uint32_t;
+
+/// One point-to-point message of a communication phase.
+struct Message {
+  Rank src;
+  Rank dst;
+  std::uint64_t bytes;
+};
+
+class Machine {
+ public:
+  /// `rank_to_host[i]` maps MPI rank i to a host; empty means identity.
+  Machine(const HostSwitchGraph& graph, const SimParams& params = {},
+          std::vector<HostId> rank_to_host = {});
+
+  std::uint32_t num_ranks() const noexcept { return num_ranks_; }
+  const SimParams& params() const noexcept { return params_; }
+  /// Simulated seconds elapsed so far.
+  double now() const noexcept { return clock_; }
+  /// Resets the simulated clock (the topology/routing is reusable).
+  void reset() noexcept { clock_ = 0.0; }
+
+  /// Hop count of the route between two ranks (the end-to-end latency in
+  /// links; equals l(h_i, h_j) of the underlying host-switch graph).
+  std::uint32_t route_hops(Rank a, Rank b) const;
+
+  // ---- steps: each advances the clock and returns its elapsed seconds --
+
+  /// Every rank computes `flops` operations in parallel.
+  double compute(double flops_per_rank);
+  /// Injects all messages at once; returns when the last one lands.
+  double phase(const std::vector<Message>& messages);
+
+  double barrier();
+  double bcast(std::uint64_t bytes, Rank root = 0);
+  double reduce(std::uint64_t bytes, Rank root = 0);
+  double allreduce(std::uint64_t bytes);
+  double allgather(std::uint64_t bytes_per_rank);
+  /// Pairwise-exchange all-to-all: every ordered pair exchanges
+  /// `bytes_per_pair` bytes.
+  double alltoall(std::uint64_t bytes_per_pair);
+  /// All-to-all with per-pair sizes from `bytes(src, dst)`.
+  double alltoallv(const std::function<std::uint64_t(Rank, Rank)>& bytes);
+
+  /// Root scatters a distinct `bytes_per_rank` block to every rank
+  /// (binomial tree; internal rounds forward whole subtree payloads).
+  double scatter(std::uint64_t bytes_per_rank, Rank root = 0);
+  /// Mirror of scatter: every rank's block converges on the root.
+  double gather(std::uint64_t bytes_per_rank, Rank root = 0);
+  /// Recursive-halving reduce-scatter: each rank ends with one reduced
+  /// `bytes_per_rank` block (power-of-two ranks; pairwise fallback).
+  double reduce_scatter(std::uint64_t bytes_per_rank);
+  /// Ring allreduce (Rabenseifner-style bandwidth-optimal large-message
+  /// algorithm): reduce-scatter ring then allgather ring over
+  /// `bytes_total / ranks` chunks.
+  double ring_allreduce(std::uint64_t bytes_total);
+
+  /// Statistics of the most recent phase() (collectives update it once
+  /// per internal round; the last round's stats remain).
+  struct PhaseStats {
+    double elapsed = 0.0;          ///< seconds, same value phase() returned
+    double max_link_utilization = 0.0;  ///< busiest link's busy fraction
+    double mean_hops = 0.0;        ///< average route length of the flows
+    std::uint64_t flows = 0;
+  };
+  const PhaseStats& last_phase_stats() const noexcept { return stats_; }
+
+ private:
+
+  SimParams params_;
+  RoutingTable routes_;
+  std::uint32_t num_ranks_;
+  std::vector<HostId> rank_to_host_;
+  FairShareSolver solver_;
+  double clock_ = 0.0;
+  PhaseStats stats_;
+  std::uint64_t phase_counter_ = 0;  ///< decorrelates ECMP hashes across phases
+
+  // Scratch reused across phases.
+  std::vector<std::vector<LinkId>> paths_;
+  std::vector<double> rates_;
+  std::vector<double> link_bytes_;
+};
+
+}  // namespace orp

@@ -1,0 +1,53 @@
+#pragma once
+// Packet-level discrete-event network simulator.
+//
+// An independent cross-check for the fluid (max-min fair flow) engine in
+// Machine: messages are segmented into packets that traverse their route
+// store-and-forward through per-link FIFO queues. For long flows the two
+// models must agree (the fluid model is the limit of fair packet
+// interleaving); for short messages the packet model exposes
+// serialization and head-of-line effects the fluid model abstracts away.
+// The abl_fluid_vs_packet bench quantifies the gap on real topologies —
+// this is the validation the SimGrid-substitution rests on (DESIGN.md).
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/params.hpp"
+#include "sim/routing.hpp"
+
+namespace orp {
+
+struct PacketSimParams {
+  SimParams base;                   ///< bandwidth / latency / overhead
+  std::uint64_t packet_bytes = 4096;  ///< segmentation size (MTU payload)
+};
+
+struct PacketPhaseResult {
+  double elapsed = 0.0;       ///< time until the last packet lands
+  std::uint64_t packets = 0;  ///< packets injected
+  double mean_packet_latency = 0.0;
+  double max_packet_latency = 0.0;
+};
+
+class PacketMachine {
+ public:
+  PacketMachine(const HostSwitchGraph& graph, const PacketSimParams& params = {},
+                std::vector<HostId> rank_to_host = {});
+
+  std::uint32_t num_ranks() const noexcept { return num_ranks_; }
+
+  /// Simulates all messages injected at t = 0; returns when the last
+  /// packet is fully received. Packets of one message are injected
+  /// back-to-back at the source in order.
+  PacketPhaseResult phase(const std::vector<Message>& messages);
+
+ private:
+  PacketSimParams params_;
+  RoutingTable routes_;
+  std::uint32_t num_ranks_;
+  std::vector<HostId> rank_to_host_;
+};
+
+}  // namespace orp

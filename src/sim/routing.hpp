@@ -1,0 +1,75 @@
+#pragma once
+// Deterministic shortest-path routing over a host-switch graph.
+//
+// Every cable is full duplex and modeled as two directed links. Link ids:
+//   [0, n)        host h's up-link   (host -> its switch)
+//   [n, 2n)       host h's down-link (switch -> host)
+//   [2n, 2n+2E)   directed switch-switch links, laid out per source switch
+// Routes are minimal and deterministic: among equal-length next hops the
+// lowest switch id wins (topology-agnostic deterministic routing, as used
+// for irregular networks in practice).
+
+#include <cstdint>
+#include <vector>
+
+#include "hsg/host_switch_graph.hpp"
+
+namespace orp {
+
+using LinkId = std::uint32_t;
+
+class RoutingTable {
+ public:
+  /// Precomputes next hops for all switch pairs (one BFS per switch).
+  /// Requires every host attached and all host-bearing switches connected.
+  explicit RoutingTable(const HostSwitchGraph& g);
+
+  std::uint32_t num_links() const noexcept { return num_links_; }
+  std::uint32_t num_hosts() const noexcept { return n_; }
+
+  /// Switch-level hop distance.
+  std::uint32_t switch_distance(SwitchId s, SwitchId t) const {
+    return dist_[static_cast<std::size_t>(s) * m_ + t];
+  }
+
+  /// Appends the directed link ids of the path from host `src` to host
+  /// `dst` (up-link, switch links, down-link) to `path`. `src != dst`.
+  /// Returns the number of links appended (= hop count of the route).
+  std::uint32_t append_host_path(HostId src, HostId dst, std::vector<LinkId>& path) const;
+
+  /// ECMP variant: at every switch the next hop is chosen among ALL
+  /// equal-cost shortest next hops by hashing `flow_key` (deterministic
+  /// per flow, spread across flows) — the standard per-flow ECMP model.
+  /// Path length equals the deterministic route's length.
+  std::uint32_t append_host_path_ecmp(HostId src, HostId dst, std::uint64_t flow_key,
+                                      std::vector<LinkId>& path) const;
+
+  /// Number of equal-cost shortest next hops from s toward t (0 if s == t
+  /// or unreachable). Exposed for tests and diversity statistics.
+  std::uint32_t equal_cost_next_hops(SwitchId s, SwitchId t) const;
+
+  /// Directed link id for the switch-switch hop a -> b (must be adjacent).
+  LinkId switch_link(SwitchId a, SwitchId b) const;
+
+  /// The deterministic route's switch sequence from s to t (inclusive of
+  /// both endpoints); {s} when s == t. Throws when unreachable.
+  std::vector<SwitchId> switch_path(SwitchId s, SwitchId t) const;
+
+  LinkId host_uplink(HostId h) const { return h; }
+  LinkId host_downlink(HostId h) const { return n_ + h; }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t m_;
+  std::uint32_t num_links_;
+  std::vector<SwitchId> host_switch_;
+  std::vector<std::uint32_t> dist_;      // m*m switch distances
+  std::vector<SwitchId> next_hop_;       // m*m: next switch from s toward t
+  std::vector<std::uint32_t> link_base_; // per-switch offset into directed links
+  // Sorted adjacency per switch for O(log r) link lookup.
+  std::vector<std::vector<SwitchId>> sorted_adj_;
+
+  static constexpr std::uint32_t kUnreachable = 0xffffffffu;
+};
+
+}  // namespace orp

@@ -1,0 +1,50 @@
+#pragma once
+// Synthetic traffic patterns — the classic interconnection-network
+// evaluation workloads (Dally & Towles). The paper evaluates with NAS
+// applications; these patterns isolate the same effects (average vs
+// adversarial distance, bisection pressure) in their purest form and back
+// the abl_traffic bench.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "sim/machine.hpp"
+
+namespace orp {
+
+enum class TrafficPattern {
+  kUniformRandom,   ///< each rank sends to one uniformly random partner
+  kPermutation,     ///< a random permutation (every rank sends+receives once)
+  kTranspose,       ///< (i, j) -> (j, i) on the square rank grid
+  kBitComplement,   ///< rank -> ~rank (adversarial for most topologies)
+  kBitReverse,      ///< rank -> bit-reversed rank
+  kNeighborRing,    ///< rank -> rank + 1 (best case for locality)
+  kShuffle,         ///< rank -> rotate-left-1 (perfect shuffle)
+};
+
+const char* traffic_pattern_name(TrafficPattern pattern);
+std::vector<TrafficPattern> all_traffic_patterns();
+
+/// Builds one message per rank following the pattern. Patterns with
+/// structural requirements (kTranspose: square rank count; bit patterns:
+/// power-of-two) throw when unmet. Self-messages are kept (they are free
+/// in the engine), matching standard practice.
+std::vector<Message> make_traffic(TrafficPattern pattern, std::uint32_t ranks,
+                                  std::uint64_t bytes, Xoshiro256& rng);
+
+struct TrafficResult {
+  std::string pattern;
+  double elapsed = 0.0;             ///< seconds for the phase
+  double aggregate_bandwidth = 0.0; ///< delivered bytes/s across all flows
+  double mean_hops = 0.0;           ///< average route length
+  double max_link_utilization = 0.0;
+};
+
+/// Injects the pattern once and reports delivered bandwidth and route
+/// statistics.
+TrafficResult run_traffic(Machine& machine, TrafficPattern pattern,
+                          std::uint64_t bytes, Xoshiro256& rng);
+
+}  // namespace orp

@@ -1,0 +1,161 @@
+#include "sim/updown.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace orp {
+
+bool shortest_path_routing_has_cycle(const HostSwitchGraph& g,
+                                     const RoutingTable& routes) {
+  const std::uint32_t m = g.num_switches();
+  // Channel dependency edges between directed switch links: the route of
+  // every switch pair contributes (l_i -> l_{i+1}) for consecutive hops.
+  std::vector<std::pair<LinkId, LinkId>> deps;
+  for (SwitchId s = 0; s < m; ++s) {
+    for (SwitchId t = 0; t < m; ++t) {
+      if (s == t) continue;
+      const auto path = routes.switch_path(s, t);
+      for (std::size_t i = 0; i + 2 < path.size(); ++i) {
+        deps.emplace_back(routes.switch_link(path[i], path[i + 1]),
+                          routes.switch_link(path[i + 1], path[i + 2]));
+      }
+    }
+  }
+  std::sort(deps.begin(), deps.end());
+  deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+
+  // Remap the touched links to compact ids and DFS for a cycle.
+  std::vector<LinkId> links;
+  for (const auto& [a, b] : deps) {
+    links.push_back(a);
+    links.push_back(b);
+  }
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+  auto id_of = [&](LinkId l) {
+    return static_cast<std::uint32_t>(
+        std::lower_bound(links.begin(), links.end(), l) - links.begin());
+  };
+  std::vector<std::vector<std::uint32_t>> adj(links.size());
+  for (const auto& [a, b] : deps) adj[id_of(a)].push_back(id_of(b));
+
+  // Iterative three-color DFS.
+  enum : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<std::uint8_t> color(links.size(), kWhite);
+  std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+  for (std::uint32_t start = 0; start < links.size(); ++start) {
+    if (color[start] != kWhite) continue;
+    stack.clear();
+    stack.emplace_back(start, 0);
+    color[start] = kGray;
+    while (!stack.empty()) {
+      auto& [v, next] = stack.back();
+      if (next < adj[v].size()) {
+        const std::uint32_t u = adj[v][next++];
+        if (color[u] == kGray) return true;  // back edge -> cycle
+        if (color[u] == kWhite) {
+          color[u] = kGray;
+          stack.emplace_back(u, 0);
+        }
+      } else {
+        color[v] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+UpDownRouting::UpDownRouting(const HostSwitchGraph& g, SwitchId root)
+    : m_(g.num_switches()) {
+  ORP_REQUIRE(root < m_, "root switch out of range");
+  ORP_REQUIRE(g.switches_connected(), "up*/down* needs a connected switch graph");
+
+  // BFS levels from the root define the link orientation: a hop a -> b is
+  // "up" when (level[b], b) < (level[a], a).
+  level_.assign(m_, kUnreachable);
+  std::vector<SwitchId> queue{root};
+  level_[root] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const SwitchId v = queue[head];
+    for (const SwitchId u : g.neighbors(v)) {
+      if (level_[u] == kUnreachable) {
+        level_[u] = level_[v] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+
+  auto is_up = [&](SwitchId from, SwitchId to) {
+    return std::make_pair(level_[to], to) < std::make_pair(level_[from], from);
+  };
+
+  // Legal-route distances: BFS per source over (switch, phase) states.
+  // Phase 0: may still go up (or turn down); phase 1: down-only.
+  dist_.assign(static_cast<std::size_t>(m_) * m_, kUnreachable);
+  std::vector<std::uint32_t> state_dist(2 * m_);
+  std::vector<std::uint32_t> state_queue;
+  for (SwitchId s = 0; s < m_; ++s) {
+    std::fill(state_dist.begin(), state_dist.end(), kUnreachable);
+    state_queue.clear();
+    state_queue.push_back(s * 2);  // (s, up-phase)
+    state_dist[s * 2] = 0;
+    for (std::size_t head = 0; head < state_queue.size(); ++head) {
+      const std::uint32_t state = state_queue[head];
+      const SwitchId v = state / 2;
+      const bool down_only = (state & 1) != 0;
+      const std::uint32_t dv = state_dist[state];
+      for (const SwitchId u : g.neighbors(v)) {
+        const bool up_hop = is_up(v, u);
+        if (down_only && up_hop) continue;  // down* may not climb again
+        const std::uint32_t next_state = u * 2 + (up_hop ? 0 : 1);
+        if (state_dist[next_state] != kUnreachable) continue;
+        state_dist[next_state] = dv + 1;
+        state_queue.push_back(next_state);
+      }
+    }
+    for (SwitchId t = 0; t < m_; ++t) {
+      dist_[static_cast<std::size_t>(s) * m_ + t] =
+          std::min(state_dist[t * 2], state_dist[t * 2 + 1]);
+    }
+  }
+}
+
+double UpDownRouting::routed_haspl(const HostSwitchGraph& g) const {
+  ORP_REQUIRE(g.num_switches() == m_, "graph/routing size mismatch");
+  ORP_REQUIRE(g.fully_attached(), "routed h-ASPL needs every host attached");
+  const std::uint64_t n = g.num_hosts();
+  if (n < 2) return 0.0;
+  std::uint64_t ordered_sum = 0;
+  for (SwitchId s = 0; s < m_; ++s) {
+    if (g.hosts_on(s) == 0) continue;
+    for (SwitchId t = 0; t < m_; ++t) {
+      if (t == s || g.hosts_on(t) == 0) continue;
+      const std::uint32_t d = switch_distance(s, t);
+      ORP_REQUIRE(d != kUnreachable, "up*/down* left a pair unreachable");
+      ordered_sum += static_cast<std::uint64_t>(g.hosts_on(s)) * g.hosts_on(t) * d;
+    }
+  }
+  const std::uint64_t pairs = n * (n - 1) / 2;
+  return (static_cast<double>(ordered_sum) / 2.0 + 2.0 * static_cast<double>(pairs)) /
+         static_cast<double>(pairs);
+}
+
+std::uint32_t UpDownRouting::routed_diameter(const HostSwitchGraph& g) const {
+  ORP_REQUIRE(g.num_switches() == m_, "graph/routing size mismatch");
+  std::uint32_t max_dist = 0;
+  bool any_pair = false;
+  for (SwitchId s = 0; s < m_; ++s) {
+    if (g.hosts_on(s) == 0) continue;
+    for (SwitchId t = 0; t < m_; ++t) {
+      if (t == s || g.hosts_on(t) == 0) continue;
+      max_dist = std::max(max_dist, switch_distance(s, t));
+      any_pair = true;
+    }
+  }
+  if (!any_pair) return g.num_hosts() >= 2 ? 2 : 0;
+  return max_dist + 2;
+}
+
+}  // namespace orp

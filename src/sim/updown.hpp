@@ -1,0 +1,62 @@
+#pragma once
+// Deadlock freedom and up*/down* routing.
+//
+// Shortest-path routing on irregular topologies (like ORP solutions) can
+// deadlock: packets holding one link while waiting for the next can form
+// a cycle in the channel dependency graph (CDG, Dally & Seitz). The
+// classic topology-agnostic fix the paper's related work cites ([14]) is
+// up*/down* routing: orient every link by a BFS spanning tree (toward the
+// root = "up") and allow only routes that make all their "up" hops before
+// any "down" hop — the CDG is then provably acyclic.
+//
+// This module provides both sides: a CDG cycle checker for the
+// shortest-path tables (shows the hazard is real on searched topologies)
+// and an up*/down* router whose path-length inflation over shortest paths
+// is the price of deadlock freedom (bench: abl_deadlock_free).
+
+#include <cstdint>
+#include <vector>
+
+#include "hsg/host_switch_graph.hpp"
+#include "sim/routing.hpp"
+
+namespace orp {
+
+/// True when the switch-to-switch routes of `routes` induce a cyclic
+/// channel dependency graph (a deadlock hazard under wormhole/credit flow
+/// control without virtual channels). Dependencies are collected from the
+/// routing table's path of every ordered switch pair.
+bool shortest_path_routing_has_cycle(const HostSwitchGraph& g,
+                                     const RoutingTable& routes);
+
+/// Up*/down* routing over a BFS spanning tree rooted at `root`.
+class UpDownRouting {
+ public:
+  UpDownRouting(const HostSwitchGraph& g, SwitchId root = 0);
+
+  /// Length (switch hops) of the shortest LEGAL route between switches;
+  /// kUnreachable when none exists (never happens on connected graphs —
+  /// root-relayed routes are always legal).
+  std::uint32_t switch_distance(SwitchId a, SwitchId b) const {
+    return dist_[static_cast<std::size_t>(a) * m_ + b];
+  }
+  static constexpr std::uint32_t kUnreachable = 0xffffffffu;
+
+  /// Host-to-host average path length under up*/down* routing (the
+  /// routed analogue of h-ASPL; >= the graph's h-ASPL).
+  double routed_haspl(const HostSwitchGraph& g) const;
+
+  /// Host-to-host diameter under up*/down* routing.
+  std::uint32_t routed_diameter(const HostSwitchGraph& g) const;
+
+  /// BFS level of a switch in the spanning tree (root = 0). Exposed for
+  /// tests.
+  std::uint32_t level(SwitchId s) const { return level_[s]; }
+
+ private:
+  std::uint32_t m_;
+  std::vector<std::uint32_t> level_;
+  std::vector<std::uint32_t> dist_;  // m*m legal-route distances
+};
+
+}  // namespace orp

@@ -1,0 +1,73 @@
+#include "topo/attach.hpp"
+
+#include <algorithm>
+
+namespace orp {
+
+std::uint64_t host_capacity(const HostSwitchGraph& g) {
+  std::uint64_t total = 0;
+  for (SwitchId s = 0; s < g.num_switches(); ++s) total += g.free_ports(s);
+  return total;
+}
+
+void attach_hosts(HostSwitchGraph& g, AttachPolicy policy) {
+  const std::uint32_t n = g.num_hosts();
+  for (HostId h = 0; h < n; ++h) {
+    ORP_REQUIRE(!g.host_attached(h), "attach_hosts needs all hosts detached");
+  }
+  ORP_REQUIRE(host_capacity(g) >= n, "fabric has too few free ports for n hosts");
+
+  const std::uint32_t m = g.num_switches();
+  HostId next = 0;
+  switch (policy) {
+    case AttachPolicy::kRoundRobin:
+      while (next < n) {
+        bool progressed = false;
+        for (SwitchId s = 0; s < m && next < n; ++s) {
+          if (g.free_ports(s) > 0) {
+            g.attach_host(next++, s);
+            progressed = true;
+          }
+        }
+        ORP_ASSERT(progressed);
+      }
+      break;
+    case AttachPolicy::kFillFirst:
+      for (SwitchId s = 0; s < m && next < n; ++s) {
+        while (g.free_ports(s) > 0 && next < n) g.attach_host(next++, s);
+      }
+      ORP_ASSERT(next == n);
+      break;
+  }
+}
+
+std::vector<HostId> dfs_host_order(const HostSwitchGraph& g) {
+  const auto by_switch = g.hosts_by_switch();
+  std::vector<HostId> order;
+  order.reserve(g.num_hosts());
+  std::vector<char> seen(g.num_switches(), 0);
+  std::vector<SwitchId> stack;
+  for (SwitchId root = 0; root < g.num_switches(); ++root) {
+    if (seen[root]) continue;
+    stack.push_back(root);
+    seen[root] = 1;
+    while (!stack.empty()) {
+      const SwitchId v = stack.back();
+      stack.pop_back();
+      order.insert(order.end(), by_switch[v].begin(), by_switch[v].end());
+      // Push neighbors in reverse id order so lower ids are visited first —
+      // makes the traversal deterministic.
+      auto neighbors = std::vector<SwitchId>(g.neighbors(v).begin(), g.neighbors(v).end());
+      std::sort(neighbors.begin(), neighbors.end(), std::greater<>());
+      for (SwitchId u : neighbors) {
+        if (!seen[u]) {
+          seen[u] = 1;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace orp

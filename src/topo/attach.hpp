@@ -1,0 +1,37 @@
+#pragma once
+// Host-attachment policies (§6.2.1).
+//
+// The paper builds each conventional topology's switch fabric, then
+// "sequentially connects hosts to switches until n becomes 1024"; for the
+// proposed topology, host (MPI rank) slots are assigned "in depth-first
+// order by using backtracking". The rank <-> host mapping matters for
+// simulated application performance, so the policies are explicit and the
+// abl_attachment bench compares them.
+
+#include <cstdint>
+#include <vector>
+
+#include "hsg/host_switch_graph.hpp"
+
+namespace orp {
+
+enum class AttachPolicy {
+  kRoundRobin,  ///< one host per switch per sweep (balanced; the default)
+  kFillFirst,   ///< fill switch 0 to capacity, then switch 1, ...
+};
+
+/// Attaches hosts 0..n-1 (all currently detached) to switches of `g`
+/// following `policy`, honoring per-switch free ports. Throws when the
+/// fabric cannot carry n hosts.
+void attach_hosts(HostSwitchGraph& g, AttachPolicy policy);
+
+/// Total hosts the fabric can still accept (sum of free ports).
+std::uint64_t host_capacity(const HostSwitchGraph& g);
+
+/// Depth-first host ordering over the switch graph: a DFS from switch 0
+/// lists each switch's attached hosts when the switch is first visited.
+/// Element i is the host that MPI rank i should map to (§6.2.1's
+/// "depth-first order using backtracking" for the proposed topology).
+std::vector<HostId> dfs_host_order(const HostSwitchGraph& g);
+
+}  // namespace orp

@@ -1,0 +1,219 @@
+// Tests for the common substrate: PRNG, thread pool, tables, CLI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/cli.hpp"
+#include "common/prng.hpp"
+#include "common/require.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+
+namespace orp {
+namespace {
+
+TEST(Prng, DeterministicForEqualSeeds) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Prng, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Prng, BelowCoversAllResidues) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Prng, BetweenInclusiveBounds) {
+  Xoshiro256 rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Prng, UniformInHalfOpenUnitInterval) {
+  Xoshiro256 rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Prng, ShuffleIsAPermutation) {
+  Xoshiro256 rng(17);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  shuffle(v, rng);
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Prng, SplitProducesIndependentStream) {
+  Xoshiro256 parent(23);
+  Xoshiro256 child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (parent() == child());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(ThreadPool, ParallelForTouchesEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 37) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAfterException) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(10, [](std::size_t) { throw std::runtime_error("x"); });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> sum{0};
+  pool.parallel_for(10, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, WorksWithZeroWorkers) {
+  ThreadPool pool(0);  // caller-only execution still valid
+  std::atomic<int> sum{0};
+  pool.parallel_for(5, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 10);
+}
+
+TEST(FormatDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(format_double(3.14, 4), "3.14");
+  EXPECT_EQ(format_double(2.0, 4), "2");
+  EXPECT_EQ(format_double(0.5, 2), "0.5");
+  EXPECT_EQ(format_double(-0.0001, 2), "0");
+}
+
+TEST(FormatDouble, HandlesNonFinite) {
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_double(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(format_double(std::nan("")), "nan");
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"m", "h-ASPL"});
+  t.row().add(8).add(2.858);
+  t.row().add(194).add(3.51);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("m"), std::string::npos);
+  EXPECT_NE(out.find("2.858"), std::string::npos);
+  EXPECT_NE(out.find("194"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"name", "note"});
+  t.row().add("a,b").add("say \"hi\"");
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Cli, ParsesOptionsAndFlags) {
+  CliParser cli("prog", "test");
+  cli.option("n", "1024", "hosts").option("radix", "", "ports").flag("verbose", "talk");
+  const char* argv[] = {"prog", "--n", "128", "--radix=24", "--verbose", "pos1"};
+  ASSERT_TRUE(cli.parse(6, argv));
+  EXPECT_EQ(cli.get_int("n"), 128);
+  EXPECT_EQ(cli.get_int("radix"), 24);
+  EXPECT_TRUE(cli.has("verbose"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, DefaultsApplyWhenAbsent) {
+  CliParser cli("prog", "test");
+  cli.option("n", "1024", "hosts");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("n"), 1024);
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_THROW(cli.parse(3, argv), std::invalid_argument);
+}
+
+TEST(Cli, RejectsMalformedInteger) {
+  CliParser cli("prog", "test");
+  cli.option("n", "", "hosts");
+  const char* argv[] = {"prog", "--n", "12x"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_THROW(cli.get_int("n"), std::invalid_argument);
+}
+
+TEST(Require, ThrowsWithMessage) {
+  try {
+    ORP_REQUIRE(1 == 2, "math broke");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("math broke"), std::string::npos);
+  }
+}
+
+TEST(EnvInt, FallsBackWhenUnsetOrInvalid) {
+  ::unsetenv("ORP_TEST_ENV_INT");
+  EXPECT_EQ(env_int("ORP_TEST_ENV_INT", 7), 7);
+  ::setenv("ORP_TEST_ENV_INT", "12", 1);
+  EXPECT_EQ(env_int("ORP_TEST_ENV_INT", 7), 12);
+  ::setenv("ORP_TEST_ENV_INT", "bogus", 1);
+  EXPECT_EQ(env_int("ORP_TEST_ENV_INT", 7), 7);
+  ::unsetenv("ORP_TEST_ENV_INT");
+}
+
+}  // namespace
+}  // namespace orp

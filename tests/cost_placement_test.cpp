@@ -1,0 +1,94 @@
+// Tests for the cable-aware placement optimizer.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/prng.hpp"
+#include "cost/placement.hpp"
+#include "search/random_init.hpp"
+#include "topo/torus.hpp"
+
+namespace orp {
+namespace {
+
+std::vector<std::uint32_t> identity_placement(std::uint32_t m) {
+  std::vector<std::uint32_t> p(m);
+  std::iota(p.begin(), p.end(), 0);
+  return p;
+}
+
+TEST(Placement, IdentityMatchesUnplacedEvaluation) {
+  const auto g = build_torus(TorusParams{2, 4, 8}, 32);
+  const auto unplaced = evaluate_network_cost(g);
+  const auto placed = evaluate_network_cost_placed(g, identity_placement(16));
+  EXPECT_DOUBLE_EQ(unplaced.total_cost_usd(), placed.total_cost_usd());
+  EXPECT_EQ(unplaced.optical_cables, placed.optical_cables);
+  EXPECT_DOUBLE_EQ(unplaced.total_cable_m, placed.total_cable_m);
+}
+
+TEST(Placement, CableCostMatchesReport) {
+  const auto g = build_torus(TorusParams{2, 4, 8}, 32);
+  const auto placement = identity_placement(16);
+  const auto report = evaluate_network_cost_placed(g, placement);
+  EXPECT_NEAR(cable_cost_under_placement(g, placement),
+              report.cable_cost_usd(), 1e-9);
+}
+
+TEST(Placement, RejectsNonPermutation) {
+  const auto g = build_torus(TorusParams{2, 4, 8}, 32);
+  std::vector<std::uint32_t> bad(16, 0);
+  EXPECT_THROW(cable_cost_under_placement(g, bad), std::invalid_argument);
+  EXPECT_THROW(evaluate_network_cost_placed(g, {0, 1}), std::invalid_argument);
+}
+
+TEST(Placement, OptimizerNeverWorsensIdentity) {
+  Xoshiro256 rng(3);
+  const auto g = random_host_switch_graph(128, 32, 8, rng);
+  const double before = cable_cost_under_placement(g, identity_placement(32));
+  const auto optimized = optimize_placement(g, 4000, 7);
+  const double after = cable_cost_under_placement(g, optimized);
+  EXPECT_LE(after, before + 1e-9);
+}
+
+TEST(Placement, RecoversScrambledRingLayout) {
+  // A ring of 16 switches placed identity has mostly short cables. Verify
+  // the optimizer applied to the same ring recovers a layout at least as
+  // cheap as identity even though SA starts from identity — and strictly
+  // improves a deliberately scrambled variant.
+  HostSwitchGraph ring(16, 16, 4);
+  for (HostId h = 0; h < 16; ++h) ring.attach_host(h, h);
+  for (SwitchId s = 0; s < 16; ++s) ring.add_switch_edge(s, (s + 1) % 16);
+
+  // Scramble: relabel switches by multiplying ids by 7 mod 16 (a ring in
+  // disguise, with terrible identity layout).
+  HostSwitchGraph scrambled(16, 16, 4);
+  for (HostId h = 0; h < 16; ++h) scrambled.attach_host(h, h);
+  for (SwitchId s = 0; s < 16; ++s) {
+    const SwitchId a = (7 * s) % 16, b = (7 * ((s + 1) % 16)) % 16;
+    scrambled.add_switch_edge(a, b);
+  }
+
+  const double scrambled_identity =
+      cable_cost_under_placement(scrambled, identity_placement(16));
+  const auto optimized = optimize_placement(scrambled, 20000, 11);
+  const double scrambled_optimized = cable_cost_under_placement(scrambled, optimized);
+  EXPECT_LT(scrambled_optimized, scrambled_identity * 0.9);
+}
+
+TEST(Placement, OptimizedCostIsInternallyConsistent) {
+  Xoshiro256 rng(5);
+  const auto g = random_host_switch_graph(96, 24, 8, rng);
+  const auto placement = optimize_placement(g, 3000, 13);
+  // The incremental SA bookkeeping must agree with a from-scratch eval.
+  const auto report = evaluate_network_cost_placed(g, placement);
+  EXPECT_NEAR(cable_cost_under_placement(g, placement), report.cable_cost_usd(), 1e-6);
+}
+
+TEST(Placement, DeterministicForEqualSeeds) {
+  Xoshiro256 rng(9);
+  const auto g = random_host_switch_graph(64, 16, 8, rng);
+  EXPECT_EQ(optimize_placement(g, 1000, 3), optimize_placement(g, 1000, 3));
+}
+
+}  // namespace
+}  // namespace orp

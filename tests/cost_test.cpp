@@ -1,0 +1,106 @@
+// Tests for the floorplan and the power/cost model.
+#include <gtest/gtest.h>
+
+#include "cost/evaluate.hpp"
+#include "search/clique.hpp"
+#include "topo/fattree.hpp"
+#include "topo/torus.hpp"
+
+namespace orp {
+namespace {
+
+TEST(Floorplan, NearSquareGrid) {
+  const CostModelParams params;
+  const Floorplan plan(243, params);
+  EXPECT_EQ(plan.columns(), 16u);
+  EXPECT_EQ(plan.rows(), 16u);
+  const Floorplan tiny(1, params);
+  EXPECT_EQ(tiny.columns(), 1u);
+  EXPECT_EQ(tiny.rows(), 1u);
+}
+
+TEST(Floorplan, ManhattanLengths) {
+  CostModelParams params;
+  params.cable_slack_cm = 0;
+  const Floorplan plan(16, params);  // 4x4
+  // Cabinets 0 and 1: one column apart.
+  EXPECT_DOUBLE_EQ(plan.cable_length_cm(0, 1), 60.0);
+  // Cabinets 0 and 4: one row apart.
+  EXPECT_DOUBLE_EQ(plan.cable_length_cm(0, 4), 210.0);
+  // Cabinets 0 and 5: diagonal.
+  EXPECT_DOUBLE_EQ(plan.cable_length_cm(0, 5), 270.0);
+  // Same cabinet: intra-cabinet length.
+  EXPECT_DOUBLE_EQ(plan.cable_length_cm(3, 3), params.intra_cabinet_cable_cm);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(plan.cable_length_cm(2, 14), plan.cable_length_cm(14, 2));
+}
+
+TEST(CostModel, SingleSwitchAllElectrical) {
+  const auto g = build_clique_graph(8, 24);  // one switch, 8 hosts
+  const auto report = evaluate_network_cost(g);
+  EXPECT_EQ(report.switches, 1u);
+  EXPECT_EQ(report.electrical_cables, 8u);  // host cables only
+  EXPECT_EQ(report.optical_cables, 0u);
+  EXPECT_GT(report.switch_cost_usd, 0.0);
+  EXPECT_GT(report.total_power_w(), 0.0);
+}
+
+TEST(CostModel, CableCountMatchesEdges) {
+  const auto g = build_fattree(FatTreeParams{8}, 128);
+  const auto report = evaluate_network_cost(g);
+  EXPECT_EQ(report.electrical_cables + report.optical_cables, g.num_edges());
+}
+
+TEST(CostModel, AdjacentCabinetsStayElectrical) {
+  // Two adjacent cabinets with default slack 100cm -> 160cm > 100cm limit:
+  // inter-cabinet cables are optical under defaults; with zero slack the
+  // 60cm neighbor cable stays electrical.
+  HostSwitchGraph g(2, 2, 4);
+  g.attach_host(0, 0);
+  g.attach_host(1, 1);
+  g.add_switch_edge(0, 1);
+  CostModelParams params;
+  params.cable_slack_cm = 0;
+  const auto report = evaluate_network_cost(g, params);
+  EXPECT_EQ(report.optical_cables, 0u);
+  EXPECT_EQ(report.electrical_cables, 3u);
+}
+
+TEST(CostModel, LongCablesGoOptical) {
+  // A 5-D torus's wraparound links span the room.
+  const auto g = build_torus(TorusParams{5, 3, 15}, 1024);
+  const auto report = evaluate_network_cost(g);
+  EXPECT_GT(report.optical_cables, 0u);
+  EXPECT_GT(report.electrical_cables, 1023u);  // at least the host cables
+  EXPECT_GT(report.optical_cable_cost_usd, report.electrical_cable_cost_usd / 100);
+}
+
+TEST(CostModel, SwitchCostDominates) {
+  // §6.3.1: "the switch cost is dominant" — check the model preserves it.
+  const auto g = build_torus(TorusParams{5, 3, 15}, 1024);
+  const auto report = evaluate_network_cost(g);
+  EXPECT_GT(report.switch_cost_usd, report.cable_cost_usd());
+}
+
+TEST(CostModel, MoreSwitchesCostMore) {
+  const auto small = build_fattree(FatTreeParams{8}, 128);   // 80 switches
+  const auto large = build_fattree(FatTreeParams{16}, 128);  // 320 switches
+  const auto report_small = evaluate_network_cost(small);
+  const auto report_large = evaluate_network_cost(large);
+  EXPECT_LT(report_small.switch_cost_usd, report_large.switch_cost_usd);
+  EXPECT_LT(report_small.total_power_w(), report_large.total_power_w());
+}
+
+TEST(CostModel, ReportTotalsAreConsistent) {
+  const auto g = build_fattree(FatTreeParams{8}, 128);
+  const auto report = evaluate_network_cost(g);
+  EXPECT_DOUBLE_EQ(report.total_cost_usd(),
+                   report.switch_cost_usd + report.electrical_cable_cost_usd +
+                       report.optical_cable_cost_usd);
+  EXPECT_DOUBLE_EQ(report.total_power_w(),
+                   report.switch_power_w + report.cable_power_w);
+  EXPECT_GT(report.total_cable_m, 0.0);
+}
+
+}  // namespace
+}  // namespace orp

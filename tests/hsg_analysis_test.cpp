@@ -1,0 +1,126 @@
+// Tests for structural analysis: unused/redundant switches, pruning,
+// degree distribution, path multiplicity.
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "hsg/analysis.hpp"
+#include "hsg/metrics.hpp"
+#include "search/random_init.hpp"
+#include "topo/fattree.hpp"
+#include "topo/torus.hpp"
+
+namespace orp {
+namespace {
+
+// h0 - s0 - s1 - h1, with s2 dangling off s1 (redundant) and s3 between
+// s0 and s1 forming an alternative longer path (also redundant).
+HostSwitchGraph graph_with_redundancy() {
+  HostSwitchGraph g(2, 4, 4);
+  g.attach_host(0, 0);
+  g.attach_host(1, 1);
+  g.add_switch_edge(0, 1);   // shortest path s0-s1
+  g.add_switch_edge(1, 2);   // dangling
+  g.add_switch_edge(0, 3);   // detour s0-s3-s1
+  g.add_switch_edge(3, 1);
+  return g;
+}
+
+TEST(Analysis, UnusedSwitchesListsHostlessOnly) {
+  const auto g = graph_with_redundancy();
+  EXPECT_EQ(unused_switches(g), (std::vector<SwitchId>{2, 3}));
+}
+
+TEST(Analysis, RedundantSwitchDetection) {
+  const auto g = graph_with_redundancy();
+  // s2 (dangling) and s3 (detour) are on no shortest host path; s0/s1
+  // carry hosts.
+  EXPECT_EQ(redundant_switches(g), (std::vector<SwitchId>{2, 3}));
+}
+
+TEST(Analysis, TransitSwitchOnShortestPathIsNotRedundant) {
+  // h0 - s0 - s1 - s2 - h1: s1 has no hosts but relays the only path.
+  HostSwitchGraph g(2, 3, 4);
+  g.attach_host(0, 0);
+  g.attach_host(1, 2);
+  g.add_switch_edge(0, 1);
+  g.add_switch_edge(1, 2);
+  EXPECT_TRUE(redundant_switches(g).empty());
+}
+
+TEST(Analysis, FatTreeHasNoRedundantSwitches) {
+  const auto g = build_fattree(FatTreeParams{4}, 16);
+  EXPECT_TRUE(redundant_switches(g).empty());
+}
+
+TEST(Analysis, RemoveSwitchesRenumbersAndPreservesPaths) {
+  const auto g = graph_with_redundancy();
+  const auto pruned = remove_switches(g, redundant_switches(g));
+  pruned.check_invariants();
+  EXPECT_EQ(pruned.num_switches(), 2u);
+  EXPECT_TRUE(pruned.has_switch_edge(0, 1));
+  // Host metrics unchanged by removing redundant switches.
+  const auto before = compute_host_metrics(g);
+  const auto after = compute_host_metrics(pruned);
+  EXPECT_EQ(before.total_length, after.total_length);
+  EXPECT_EQ(before.diameter, after.diameter);
+}
+
+TEST(Analysis, RemoveSwitchesRejectsHostBearingVictim) {
+  const auto g = graph_with_redundancy();
+  EXPECT_THROW(remove_switches(g, {0}), std::invalid_argument);
+}
+
+TEST(Analysis, PruningRandomGraphsNeverChangesHostMetrics) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Xoshiro256 rng(seed);
+    const auto g = random_host_switch_graph(40, 30, 5, rng);
+    const auto victims = redundant_switches(g);
+    if (victims.empty()) continue;
+    const auto pruned = remove_switches(g, victims);
+    EXPECT_EQ(compute_host_metrics(g).total_length,
+              compute_host_metrics(pruned).total_length)
+        << "seed=" << seed;
+  }
+}
+
+TEST(Analysis, DegreeDistributionSumsToSwitchCount) {
+  const auto g = build_torus(TorusParams{3, 3, 8}, 27);
+  const auto dist = switch_degree_distribution(g);
+  std::uint32_t total = 0;
+  for (std::uint32_t count : dist) total += count;
+  EXPECT_EQ(total, g.num_switches());
+  // 3-D torus: all switches have degree 6.
+  ASSERT_EQ(dist.size(), 7u);
+  EXPECT_EQ(dist[6], 27u);
+}
+
+TEST(Analysis, PathMultiplicityOnSquare) {
+  // Hosts on opposite corners of a 4-cycle: two shortest paths.
+  HostSwitchGraph g(2, 4, 4);
+  g.attach_host(0, 0);
+  g.attach_host(1, 2);
+  g.add_switch_edge(0, 1);
+  g.add_switch_edge(1, 2);
+  g.add_switch_edge(2, 3);
+  g.add_switch_edge(3, 0);
+  EXPECT_DOUBLE_EQ(average_shortest_path_multiplicity(g), 2.0);
+}
+
+TEST(Analysis, PathMultiplicityOnTreeIsOne) {
+  HostSwitchGraph g(3, 3, 4);
+  g.attach_host(0, 0);
+  g.attach_host(1, 1);
+  g.attach_host(2, 2);
+  g.add_switch_edge(0, 1);
+  g.add_switch_edge(1, 2);
+  EXPECT_DOUBLE_EQ(average_shortest_path_multiplicity(g), 1.0);
+}
+
+TEST(Analysis, FatTreeHasHighPathDiversity) {
+  const auto fattree = build_fattree(FatTreeParams{4}, 16);
+  // Cross-pod routes have (K/2)^2 = 4 equal-cost choices.
+  EXPECT_GT(average_shortest_path_multiplicity(fattree), 1.5);
+}
+
+}  // namespace
+}  // namespace orp

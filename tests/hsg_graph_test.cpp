@@ -1,0 +1,154 @@
+// Tests for the HostSwitchGraph data structure: port budgets, attachment,
+// edge bookkeeping, invariants.
+#include <gtest/gtest.h>
+
+#include "hsg/host_switch_graph.hpp"
+
+namespace orp {
+namespace {
+
+TEST(HostSwitchGraph, StartsDetachedAndEdgeless) {
+  HostSwitchGraph g(4, 3, 6);
+  EXPECT_EQ(g.num_hosts(), 4u);
+  EXPECT_EQ(g.num_switches(), 3u);
+  EXPECT_EQ(g.radix(), 6u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_FALSE(g.fully_attached());
+  for (HostId h = 0; h < 4; ++h) EXPECT_FALSE(g.host_attached(h));
+  for (SwitchId s = 0; s < 3; ++s) {
+    EXPECT_EQ(g.hosts_on(s), 0u);
+    EXPECT_EQ(g.switch_degree(s), 0u);
+    EXPECT_EQ(g.free_ports(s), 6u);
+  }
+  g.check_invariants();
+}
+
+TEST(HostSwitchGraph, AttachDetachMoveBookkeeping) {
+  HostSwitchGraph g(3, 2, 4);
+  g.attach_host(0, 0);
+  g.attach_host(1, 0);
+  g.attach_host(2, 1);
+  EXPECT_TRUE(g.fully_attached());
+  EXPECT_EQ(g.hosts_on(0), 2u);
+  EXPECT_EQ(g.hosts_on(1), 1u);
+  EXPECT_EQ(g.host_switch(1), 0u);
+
+  g.move_host(1, 1);
+  EXPECT_EQ(g.hosts_on(0), 1u);
+  EXPECT_EQ(g.hosts_on(1), 2u);
+
+  g.detach_host(2);
+  EXPECT_FALSE(g.fully_attached());
+  EXPECT_EQ(g.hosts_on(1), 1u);
+  g.check_invariants();
+}
+
+TEST(HostSwitchGraph, RejectsDoubleAttach) {
+  HostSwitchGraph g(2, 2, 4);
+  g.attach_host(0, 0);
+  EXPECT_THROW(g.attach_host(0, 1), std::invalid_argument);
+}
+
+TEST(HostSwitchGraph, EnforcesRadixOnHosts) {
+  HostSwitchGraph g(5, 2, 3);
+  g.attach_host(0, 0);
+  g.attach_host(1, 0);
+  g.attach_host(2, 0);
+  EXPECT_EQ(g.free_ports(0), 0u);
+  EXPECT_THROW(g.attach_host(3, 0), std::invalid_argument);
+}
+
+TEST(HostSwitchGraph, EnforcesRadixOnEdges) {
+  HostSwitchGraph g(2, 4, 3);
+  g.attach_host(0, 0);
+  g.attach_host(1, 0);
+  g.add_switch_edge(0, 1);
+  EXPECT_THROW(g.add_switch_edge(0, 2), std::invalid_argument);
+}
+
+TEST(HostSwitchGraph, RejectsSelfLoopAndMultiEdge) {
+  HostSwitchGraph g(1, 3, 4);
+  EXPECT_THROW(g.add_switch_edge(1, 1), std::invalid_argument);
+  g.add_switch_edge(0, 1);
+  EXPECT_THROW(g.add_switch_edge(1, 0), std::invalid_argument);
+}
+
+TEST(HostSwitchGraph, EdgeAddRemoveSymmetric) {
+  HostSwitchGraph g(1, 4, 4);
+  g.add_switch_edge(0, 1);
+  g.add_switch_edge(1, 2);
+  EXPECT_TRUE(g.has_switch_edge(0, 1));
+  EXPECT_TRUE(g.has_switch_edge(1, 0));
+  EXPECT_EQ(g.num_switch_edges(), 2u);
+  g.remove_switch_edge(1, 0);
+  EXPECT_FALSE(g.has_switch_edge(0, 1));
+  EXPECT_EQ(g.num_switch_edges(), 1u);
+  EXPECT_THROW(g.remove_switch_edge(0, 1), std::invalid_argument);
+  g.check_invariants();
+}
+
+TEST(HostSwitchGraph, ConnectivityDetection) {
+  HostSwitchGraph g(1, 4, 4);
+  EXPECT_FALSE(g.switches_connected());
+  g.add_switch_edge(0, 1);
+  g.add_switch_edge(2, 3);
+  EXPECT_FALSE(g.switches_connected());
+  g.add_switch_edge(1, 2);
+  EXPECT_TRUE(g.switches_connected());
+}
+
+TEST(HostSwitchGraph, SingleSwitchIsConnected) {
+  HostSwitchGraph g(2, 1, 4);
+  EXPECT_TRUE(g.switches_connected());
+}
+
+TEST(HostSwitchGraph, HostDistributionHistogram) {
+  HostSwitchGraph g(5, 3, 8);
+  g.attach_host(0, 0);
+  g.attach_host(1, 0);
+  g.attach_host(2, 0);
+  g.attach_host(3, 1);
+  g.attach_host(4, 1);
+  const auto dist = g.host_distribution();
+  // switch 2 has 0 hosts, switch 1 has 2, switch 0 has 3.
+  ASSERT_EQ(dist.size(), 4u);
+  EXPECT_EQ(dist[0], 1u);
+  EXPECT_EQ(dist[1], 0u);
+  EXPECT_EQ(dist[2], 1u);
+  EXPECT_EQ(dist[3], 1u);
+}
+
+TEST(HostSwitchGraph, HostsBySwitchListsAttachment) {
+  HostSwitchGraph g(4, 2, 6);
+  g.attach_host(0, 1);
+  g.attach_host(1, 0);
+  g.attach_host(2, 1);
+  g.attach_host(3, 1);
+  const auto by_switch = g.hosts_by_switch();
+  EXPECT_EQ(by_switch[0], (std::vector<HostId>{1}));
+  EXPECT_EQ(by_switch[1], (std::vector<HostId>{0, 2, 3}));
+}
+
+TEST(HostSwitchGraph, EqualityIgnoresAdjacencyOrder) {
+  HostSwitchGraph a(2, 3, 4), b(2, 3, 4);
+  a.attach_host(0, 0);
+  a.attach_host(1, 2);
+  b.attach_host(0, 0);
+  b.attach_host(1, 2);
+  a.add_switch_edge(0, 1);
+  a.add_switch_edge(0, 2);
+  b.add_switch_edge(0, 2);
+  b.add_switch_edge(0, 1);
+  EXPECT_TRUE(a == b);
+  b.remove_switch_edge(0, 1);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(HostSwitchGraph, RejectsDegenerateParameters) {
+  EXPECT_THROW(HostSwitchGraph(0, 1, 4), std::invalid_argument);
+  EXPECT_THROW(HostSwitchGraph(1, 0, 4), std::invalid_argument);
+  EXPECT_THROW(HostSwitchGraph(1, 1, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace orp

@@ -1,0 +1,102 @@
+// Tests for host-switch graph serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/prng.hpp"
+#include "hsg/io.hpp"
+#include "search/random_init.hpp"
+
+namespace orp {
+namespace {
+
+TEST(HsgIo, RoundTripsSmallGraph) {
+  HostSwitchGraph g(3, 2, 4);
+  g.attach_host(0, 0);
+  g.attach_host(1, 1);
+  g.attach_host(2, 1);
+  g.add_switch_edge(0, 1);
+
+  std::stringstream buffer;
+  write_hsg(buffer, g);
+  const auto parsed = read_hsg(buffer);
+  parsed.check_invariants();
+  EXPECT_TRUE(parsed == g);
+}
+
+TEST(HsgIo, RoundTripsRandomGraphs) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    Xoshiro256 rng(seed);
+    const auto g = random_host_switch_graph(64, 16, 8, rng);
+    std::stringstream buffer;
+    write_hsg(buffer, g);
+    const auto parsed = read_hsg(buffer);
+    parsed.check_invariants();
+    EXPECT_TRUE(parsed == g) << "seed=" << seed;
+  }
+}
+
+TEST(HsgIo, SkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "# a comment\n"
+      "hsg 2 2 4\n"
+      "\n"
+      "H 0 0  # trailing comment\n"
+      "H 1 1\n"
+      "S 0 1\n");
+  const auto g = read_hsg(in);
+  EXPECT_EQ(g.num_hosts(), 2u);
+  EXPECT_TRUE(g.has_switch_edge(0, 1));
+}
+
+TEST(HsgIo, RejectsMissingHeader) {
+  std::istringstream in("H 0 0\n");
+  EXPECT_THROW(read_hsg(in), std::invalid_argument);
+}
+
+TEST(HsgIo, RejectsDuplicateHeader) {
+  std::istringstream in("hsg 2 2 4\nhsg 2 2 4\n");
+  EXPECT_THROW(read_hsg(in), std::invalid_argument);
+}
+
+TEST(HsgIo, RejectsOutOfRangeIds) {
+  std::istringstream in("hsg 2 2 4\nH 5 0\n");
+  EXPECT_THROW(read_hsg(in), std::invalid_argument);
+  std::istringstream in2("hsg 2 2 4\nS 0 9\n");
+  EXPECT_THROW(read_hsg(in2), std::invalid_argument);
+}
+
+TEST(HsgIo, RejectsRadixViolation) {
+  std::istringstream in(
+      "hsg 4 2 3\n"
+      "H 0 0\nH 1 0\nH 2 0\nH 3 0\n");  // 4 hosts on a radix-3 switch
+  EXPECT_THROW(read_hsg(in), std::invalid_argument);
+}
+
+TEST(HsgIo, RejectsDuplicateEdgeAndSelfLoop) {
+  std::istringstream in("hsg 1 2 4\nS 0 1\nS 1 0\n");
+  EXPECT_THROW(read_hsg(in), std::invalid_argument);
+  std::istringstream in2("hsg 1 2 4\nS 1 1\n");
+  EXPECT_THROW(read_hsg(in2), std::invalid_argument);
+}
+
+TEST(HsgIo, RejectsUnknownTag) {
+  std::istringstream in("hsg 1 1 4\nX 0 0\n");
+  EXPECT_THROW(read_hsg(in), std::invalid_argument);
+}
+
+TEST(HsgIo, DotContainsAllVertices) {
+  HostSwitchGraph g(2, 2, 4);
+  g.attach_host(0, 0);
+  g.attach_host(1, 1);
+  g.add_switch_edge(0, 1);
+  std::ostringstream os;
+  write_dot(os, g);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("h0 -- s0"), std::string::npos);
+  EXPECT_NE(dot.find("h1 -- s1"), std::string::npos);
+  EXPECT_NE(dot.find("s0 -- s1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace orp

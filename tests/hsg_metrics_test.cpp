@@ -1,0 +1,180 @@
+// Tests for h-ASPL / diameter computation, including agreement between the
+// scalar reference kernel and the bit-parallel kernel on randomized graphs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/prng.hpp"
+#include "common/thread_pool.hpp"
+#include "hsg/metrics.hpp"
+#include "search/clique.hpp"
+#include "search/random_init.hpp"
+
+namespace orp {
+namespace {
+
+HostSwitchGraph single_switch(std::uint32_t n, std::uint32_t r) {
+  HostSwitchGraph g(n, 1, r);
+  for (HostId h = 0; h < n; ++h) g.attach_host(h, 0);
+  return g;
+}
+
+// The Fig. 1 example: n=16, m=4, r=6, switches in a cycle with one chord.
+HostSwitchGraph path_of_switches(std::uint32_t hosts_per_switch, std::uint32_t m,
+                                 std::uint32_t r) {
+  HostSwitchGraph g(hosts_per_switch * m, m, r);
+  HostId h = 0;
+  for (SwitchId s = 0; s < m; ++s) {
+    for (std::uint32_t i = 0; i < hosts_per_switch; ++i) g.attach_host(h++, s);
+  }
+  for (SwitchId s = 0; s + 1 < m; ++s) g.add_switch_edge(s, s + 1);
+  return g;
+}
+
+TEST(HostMetrics, SingleSwitchIsAllPairsTwo) {
+  const auto g = single_switch(8, 10);
+  const auto metrics = compute_host_metrics(g);
+  EXPECT_DOUBLE_EQ(metrics.h_aspl, 2.0);
+  EXPECT_EQ(metrics.diameter, 2u);
+  EXPECT_TRUE(metrics.connected);
+  EXPECT_EQ(metrics.total_length, 2u * (8 * 7 / 2));
+}
+
+TEST(HostMetrics, SingleHostPairOnOneSwitch) {
+  const auto g = single_switch(2, 4);
+  const auto metrics = compute_host_metrics(g);
+  EXPECT_DOUBLE_EQ(metrics.h_aspl, 2.0);
+  EXPECT_EQ(metrics.diameter, 2u);
+}
+
+TEST(HostMetrics, OneHostHasZeroMetrics) {
+  const auto g = single_switch(1, 4);
+  const auto metrics = compute_host_metrics(g);
+  EXPECT_DOUBLE_EQ(metrics.h_aspl, 0.0);
+  EXPECT_EQ(metrics.diameter, 0u);
+}
+
+TEST(HostMetrics, PathOfSwitchesHandComputed) {
+  // 2 hosts on each of 3 switches in a path: distances are 2 (same switch),
+  // 3 (adjacent switches), 4 (ends). Pairs: same-switch 3*1, adjacent
+  // 2*(2*2)=8 at 3, ends 2*2=4 at 4.
+  const auto g = path_of_switches(2, 3, 6);
+  const auto metrics = compute_host_metrics(g);
+  const double expected = (3 * 2.0 + 8 * 3.0 + 4 * 4.0) / 15.0;
+  EXPECT_DOUBLE_EQ(metrics.h_aspl, expected);
+  EXPECT_EQ(metrics.diameter, 4u);
+}
+
+TEST(HostMetrics, DetectsDisconnectedHosts) {
+  HostSwitchGraph g(2, 2, 4);
+  g.attach_host(0, 0);
+  g.attach_host(1, 1);
+  const auto metrics = compute_host_metrics(g);
+  EXPECT_FALSE(metrics.connected);
+  EXPECT_TRUE(std::isinf(metrics.h_aspl));
+  EXPECT_EQ(metrics.diameter, HostMetrics::kUnreachable);
+}
+
+TEST(HostMetrics, UnusedSwitchOffPathDoesNotAffectHaspl) {
+  // Hosts on switches 0 and 1 (adjacent); switch 2 dangles off switch 1.
+  HostSwitchGraph g(2, 3, 4);
+  g.attach_host(0, 0);
+  g.attach_host(1, 1);
+  g.add_switch_edge(0, 1);
+  g.add_switch_edge(1, 2);
+  const auto metrics = compute_host_metrics(g);
+  EXPECT_TRUE(metrics.connected);
+  EXPECT_DOUBLE_EQ(metrics.h_aspl, 3.0);
+  EXPECT_EQ(metrics.diameter, 3u);
+}
+
+TEST(HostMetrics, RequiresFullAttachment) {
+  HostSwitchGraph g(2, 1, 4);
+  g.attach_host(0, 0);
+  EXPECT_THROW(compute_host_metrics(g), std::invalid_argument);
+}
+
+TEST(HostMetrics, MatchesCliqueClosedForm) {
+  for (std::uint32_t n : {20u, 64u, 128u}) {
+    const std::uint32_t r = 24;
+    const auto g = build_clique_graph(n, r);
+    const auto metrics = compute_host_metrics(g);
+    EXPECT_NEAR(metrics.h_aspl, clique_haspl(n, r), 1e-12) << "n=" << n;
+  }
+}
+
+TEST(SwitchMetrics, RingOfFive) {
+  HostSwitchGraph g(1, 5, 4);
+  g.attach_host(0, 0);
+  for (SwitchId s = 0; s < 5; ++s) g.add_switch_edge(s, (s + 1) % 5);
+  const auto metrics = compute_switch_metrics(g);
+  EXPECT_DOUBLE_EQ(metrics.aspl, 1.5);  // per vertex: 1,1,2,2
+  EXPECT_EQ(metrics.diameter, 2u);
+}
+
+TEST(SwitchMetrics, DisconnectedSwitchGraph) {
+  HostSwitchGraph g(1, 4, 4);
+  g.attach_host(0, 0);
+  g.add_switch_edge(0, 1);
+  const auto metrics = compute_switch_metrics(g);
+  EXPECT_FALSE(metrics.connected);
+}
+
+// Property sweep: both kernels agree exactly on randomized graphs of many
+// shapes, serial and pooled.
+struct KernelCase {
+  std::uint32_t n, m, r;
+  std::uint64_t seed;
+};
+
+class KernelAgreement : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(KernelAgreement, ScalarAndBitParallelMatch) {
+  const auto param = GetParam();
+  Xoshiro256 rng(param.seed);
+  const auto g = random_host_switch_graph(param.n, param.m, param.r, rng);
+  const auto scalar = compute_host_metrics(g, AsplKernel::kScalarBfs);
+  const auto bits = compute_host_metrics(g, AsplKernel::kBitParallel);
+  EXPECT_EQ(scalar.total_length, bits.total_length);
+  EXPECT_EQ(scalar.diameter, bits.diameter);
+  EXPECT_EQ(scalar.connected, bits.connected);
+
+  ThreadPool pool(3);
+  const auto pooled = compute_host_metrics(g, AsplKernel::kBitParallel, &pool);
+  EXPECT_EQ(scalar.total_length, pooled.total_length);
+  EXPECT_EQ(scalar.diameter, pooled.diameter);
+
+  const auto sw_scalar = compute_switch_metrics(g, AsplKernel::kScalarBfs);
+  const auto sw_bits = compute_switch_metrics(g, AsplKernel::kBitParallel);
+  EXPECT_EQ(sw_scalar.total_length, sw_bits.total_length);
+  EXPECT_EQ(sw_scalar.diameter, sw_bits.diameter);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, KernelAgreement,
+    ::testing::Values(KernelCase{16, 4, 6, 1}, KernelCase{60, 10, 8, 2},
+                      KernelCase{100, 30, 10, 3}, KernelCase{128, 70, 6, 4},
+                      KernelCase{256, 80, 12, 5}, KernelCase{200, 130, 5, 6},
+                      KernelCase{512, 100, 16, 7}, KernelCase{64, 64, 4, 8},
+                      KernelCase{300, 65, 13, 9}, KernelCase{96, 12, 24, 10}));
+
+// Eq. (1) consistency: for a regular host-switch graph, the h-ASPL derived
+// from the switch ASPL matches the directly computed h-ASPL.
+TEST(HostMetrics, EquationOneHoldsOnRegularGraphs) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    Xoshiro256 rng(seed);
+    const std::uint32_t n = 120, m = 30, r = 10;
+    const auto g = random_regular_host_switch_graph(n, m, r, rng);
+    // Regular: every switch carries n/m hosts.
+    for (SwitchId s = 0; s < m; ++s) ASSERT_EQ(g.hosts_on(s), n / m);
+    const auto host = compute_host_metrics(g);
+    const auto sw = compute_switch_metrics(g);
+    ASSERT_TRUE(host.connected);
+    const double mn = static_cast<double>(m) * n;
+    const double derived = sw.aspl * (mn - n) / (mn - m) + 2.0;
+    EXPECT_NEAR(host.h_aspl, derived, 1e-9) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace orp

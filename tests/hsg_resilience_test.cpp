@@ -1,0 +1,126 @@
+// Tests for the link-failure Monte-Carlo study, the Graph Golf edge-list
+// interop, and the diameter-then-ASPL annealing objective.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/prng.hpp"
+#include "hsg/analysis.hpp"
+#include "hsg/io.hpp"
+#include "hsg/metrics.hpp"
+#include "search/odp.hpp"
+#include "search/random_init.hpp"
+#include "topo/fattree.hpp"
+#include "topo/torus.hpp"
+
+namespace orp {
+namespace {
+
+// ---- fault injection -------------------------------------------------------
+
+TEST(Resilience, ZeroFailureRateIsHarmless) {
+  const auto g = build_torus(TorusParams{2, 4, 8}, 32);
+  Xoshiro256 rng(1);
+  const auto impact = link_failure_impact(g, 0.0, 5, rng);
+  EXPECT_DOUBLE_EQ(impact.disconnect_probability, 0.0);
+  EXPECT_DOUBLE_EQ(impact.mean_haspl_inflation, 0.0);
+  EXPECT_EQ(impact.connected_trials, 5);
+}
+
+TEST(Resilience, FailuresInflateHaspl) {
+  const auto g = build_torus(TorusParams{2, 6, 8}, 36);
+  Xoshiro256 rng(2);
+  const auto impact = link_failure_impact(g, 0.08, 20, rng);
+  EXPECT_GT(impact.connected_trials, 0);
+  EXPECT_GT(impact.mean_haspl_inflation, 0.0);
+  EXPECT_GE(impact.max_haspl_inflation, impact.mean_haspl_inflation);
+}
+
+TEST(Resilience, TreeSnapsImmediately) {
+  // A path of switches disconnects whenever any inter-switch cable fails.
+  HostSwitchGraph g(4, 4, 4);
+  for (HostId h = 0; h < 4; ++h) g.attach_host(h, h);
+  for (SwitchId s = 0; s + 1 < 4; ++s) g.add_switch_edge(s, s + 1);
+  Xoshiro256 rng(3);
+  const auto impact = link_failure_impact(g, 0.5, 40, rng);
+  EXPECT_GT(impact.disconnect_probability, 0.5);  // 1 - 0.5^3 = 0.875 expected
+}
+
+TEST(Resilience, RicherGraphsDisconnectLess) {
+  // Same switch count: a ring (degree 2) vs a random saturated graph
+  // (degree ~6) — redundancy pays.
+  HostSwitchGraph ring(16, 16, 8);
+  for (HostId h = 0; h < 16; ++h) ring.attach_host(h, h);
+  for (SwitchId s = 0; s < 16; ++s) ring.add_switch_edge(s, (s + 1) % 16);
+  Xoshiro256 init_rng(4);
+  const auto dense = random_host_switch_graph(16, 16, 8, init_rng);
+
+  Xoshiro256 rng_a(5), rng_b(5);
+  const auto ring_impact = link_failure_impact(ring, 0.15, 40, rng_a);
+  const auto dense_impact = link_failure_impact(dense, 0.15, 40, rng_b);
+  EXPECT_GT(ring_impact.disconnect_probability,
+            dense_impact.disconnect_probability);
+}
+
+TEST(Resilience, RejectsBadArguments) {
+  const auto g = build_torus(TorusParams{2, 4, 8}, 32);
+  Xoshiro256 rng(1);
+  EXPECT_THROW(link_failure_impact(g, 1.0, 5, rng), std::invalid_argument);
+  EXPECT_THROW(link_failure_impact(g, 0.1, 0, rng), std::invalid_argument);
+}
+
+// ---- Graph Golf edge-list interop ------------------------------------------
+
+TEST(EdgeList, RoundTripsOdpGraph) {
+  const auto odp = solve_odp(16, 4, {.iterations = 500});
+  std::stringstream buffer;
+  write_edgelist(buffer, odp.graph);
+  const auto loaded = read_edgelist(buffer, 16, 4);
+  loaded.check_invariants();
+  EXPECT_TRUE(loaded == odp.graph);
+}
+
+TEST(EdgeList, ReadsKnownGraph) {
+  std::istringstream in("0 1\n1 2\n2 0  # triangle\n");
+  const auto g = read_edgelist(in, 3, 2);
+  EXPECT_TRUE(g.has_switch_edge(0, 1));
+  EXPECT_TRUE(g.has_switch_edge(1, 2));
+  EXPECT_TRUE(g.has_switch_edge(2, 0));
+  EXPECT_DOUBLE_EQ(compute_switch_metrics(g).aspl, 1.0);
+}
+
+TEST(EdgeList, EnforcesDegreeBound) {
+  std::istringstream in("0 1\n0 2\n0 3\n");  // vertex 0 would need degree 3
+  EXPECT_THROW(read_edgelist(in, 4, 2), std::invalid_argument);
+}
+
+TEST(EdgeList, RejectsMalformedInput) {
+  std::istringstream self("0 0\n");
+  EXPECT_THROW(read_edgelist(self, 2, 2), std::invalid_argument);
+  std::istringstream dup("0 1\n1 0\n");
+  EXPECT_THROW(read_edgelist(dup, 2, 2), std::invalid_argument);
+  std::istringstream range("0 9\n");
+  EXPECT_THROW(read_edgelist(range, 2, 2), std::invalid_argument);
+}
+
+// ---- diameter-then-ASPL objective --------------------------------------------
+
+TEST(DiameterObjective, NeverWorseDiameterThanHasplObjective) {
+  OdpOptions haspl_options{.iterations = 2000, .restarts = 2, .seed = 7,
+                           .objective = AnnealObjective::kHaspl};
+  OdpOptions diameter_options = haspl_options;
+  diameter_options.objective = AnnealObjective::kDiameterThenHaspl;
+  const auto by_haspl = solve_odp(40, 4, haspl_options);
+  const auto by_diameter = solve_odp(40, 4, diameter_options);
+  EXPECT_LE(by_diameter.metrics.diameter, by_haspl.metrics.diameter);
+}
+
+TEST(DiameterObjective, StillRespectsMooreBound) {
+  const auto result = solve_odp(32, 4, {.iterations = 1500,
+                                        .objective = AnnealObjective::kDiameterThenHaspl});
+  EXPECT_GE(result.metrics.aspl, result.moore_aspl_bound - 1e-12);
+  EXPECT_TRUE(result.metrics.connected);
+}
+
+}  // namespace
+}  // namespace orp

@@ -1,0 +1,168 @@
+// Integration tests: the full pipeline the figure benches exercise —
+// solve ORP, serialize, simulate, partition, and price — on small
+// configurations with cross-module consistency checks.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cost/placement.hpp"
+#include "hsg/analysis.hpp"
+#include "hsg/bounds.hpp"
+#include "hsg/io.hpp"
+#include "partition/partition.hpp"
+#include "search/odp.hpp"
+#include "search/solver.hpp"
+#include "sim/nas.hpp"
+#include "sim/traffic.hpp"
+#include "topo/attach.hpp"
+#include "topo/fattree.hpp"
+#include "topo/torus.hpp"
+
+namespace orp {
+namespace {
+
+SolveOptions quick(std::uint64_t iterations = 1500) {
+  SolveOptions options;
+  options.iterations = iterations;
+  return options;
+}
+
+TEST(Integration, SolveSimulatePartitionPrice) {
+  const auto design = solve_orp(64, 8, quick());
+  ASSERT_TRUE(design.metrics.connected);
+
+  // Simulate: a NAS kernel runs and is self-consistent.
+  Machine machine(design.graph, SimParams{}, dfs_host_order(design.graph));
+  NasOptions nas_options;
+  nas_options.iteration_fraction = 0.1;
+  const auto mg = run_nas_kernel(machine, NasKernel::kMG, nas_options);
+  EXPECT_GT(mg.seconds, 0.0);
+  EXPECT_LE(mg.comm_seconds, mg.seconds + 1e-12);
+
+  // Partition: a valid bisection exists and its cut is plausible.
+  const auto cut = host_switch_cut(design.graph, 2, 1);
+  EXPECT_GT(cut, 0u);
+  EXPECT_LE(cut, design.graph.num_edges());
+
+  // Price: a bill that adds up.
+  const auto bill = evaluate_network_cost(design.graph);
+  EXPECT_EQ(bill.electrical_cables + bill.optical_cables, design.graph.num_edges());
+  EXPECT_GT(bill.total_cost_usd(), 0.0);
+}
+
+TEST(Integration, SerializationPreservesEverything) {
+  const auto design = solve_orp(48, 6, quick(800));
+  std::stringstream buffer;
+  write_hsg(buffer, design.graph);
+  const auto loaded = read_hsg(buffer);
+  EXPECT_TRUE(loaded == design.graph);
+  // Same metrics, same simulation behaviour.
+  const auto original = compute_host_metrics(design.graph);
+  const auto reloaded = compute_host_metrics(loaded);
+  EXPECT_EQ(original.total_length, reloaded.total_length);
+  Machine m1(design.graph, SimParams{});
+  Machine m2(loaded, SimParams{});
+  EXPECT_DOUBLE_EQ(m1.alltoall(1000), m2.alltoall(1000));
+}
+
+TEST(Integration, ProposedBeatsTorusOnHasplAtMatchedRadix) {
+  // The core claim at a laptop-sized instance: same n and r, the ORP
+  // solution has lower h-ASPL than the torus.
+  const TorusParams params{3, 3, 9};  // 27 switches, capacity 81
+  const auto torus = build_torus(params, 81);
+  const auto proposed = solve_orp(81, 9, quick(2500));
+  const auto torus_metrics = compute_host_metrics(torus);
+  EXPECT_LT(proposed.metrics.h_aspl, torus_metrics.h_aspl);
+}
+
+TEST(Integration, MeanRouteLengthTracksHaspl) {
+  // End-to-end latency claim: the simulator's mean route length over all
+  // rank pairs equals the metric module's h-ASPL, for both a structured
+  // and a searched topology — the two stacks agree on what "end-to-end
+  // latency" means.
+  const TorusParams params{3, 3, 9};
+  const auto torus = build_torus(params, 81);
+  const auto proposed = solve_orp(81, 9, quick(2500));
+  auto mean_hops = [](const HostSwitchGraph& g) {
+    Machine machine(g, SimParams{});
+    double sum = 0.0;
+    const std::uint32_t n = g.num_hosts();
+    for (Rank a = 0; a < n; ++a) {
+      for (Rank b = a + 1; b < n; ++b) sum += machine.route_hops(a, b);
+    }
+    return sum / (n * (n - 1) / 2.0);
+  };
+  EXPECT_NEAR(mean_hops(torus), compute_host_metrics(torus).h_aspl, 1e-9);
+  EXPECT_NEAR(mean_hops(proposed.graph), proposed.metrics.h_aspl, 1e-9);
+  // And the ORP solution's average is lower (the paper's objective).
+  EXPECT_LT(mean_hops(proposed.graph), mean_hops(torus));
+}
+
+TEST(Integration, RouteHopsMatchMetricDiameter) {
+  const auto design = solve_orp(64, 8, quick(600));
+  Machine machine(design.graph, SimParams{});
+  std::uint32_t max_hops = 0;
+  for (Rank a = 0; a < 64; ++a) {
+    for (Rank b = 0; b < 64; ++b) {
+      if (a != b) max_hops = std::max(max_hops, machine.route_hops(a, b));
+    }
+  }
+  EXPECT_EQ(max_hops, design.metrics.diameter);
+}
+
+TEST(Integration, OdpSolutionDrivesSimulator) {
+  // An ODP graph is a host-switch graph; the whole stack runs on it.
+  const auto odp = solve_odp(16, 4, {.iterations = 800});
+  Machine machine(odp.graph, SimParams{});
+  Xoshiro256 rng(1);
+  const auto traffic = run_traffic(machine, TrafficPattern::kTranspose, 100000, rng);
+  EXPECT_GT(traffic.aggregate_bandwidth, 0.0);
+  EXPECT_NEAR(traffic.mean_hops, odp.metrics.aspl + 2.0, 2.0);
+}
+
+TEST(Integration, PruningRedundantSwitchesKeepsSimulationEquivalent) {
+  // Build a fabric with dangling switches, prune, and verify latency-only
+  // traffic is unchanged (shortest paths never used the pruned switches).
+  HostSwitchGraph g(4, 6, 4);
+  g.attach_host(0, 0);
+  g.attach_host(1, 1);
+  g.attach_host(2, 2);
+  g.attach_host(3, 3);
+  g.add_switch_edge(0, 1);
+  g.add_switch_edge(1, 2);
+  g.add_switch_edge(2, 3);
+  g.add_switch_edge(3, 4);  // dangling chain
+  g.add_switch_edge(4, 5);
+  const auto victims = redundant_switches(g);
+  ASSERT_EQ(victims.size(), 2u);
+  const auto pruned = remove_switches(g, victims);
+  Machine full(g, SimParams{});
+  Machine slim(pruned, SimParams{});
+  EXPECT_DOUBLE_EQ(full.alltoall(0), slim.alltoall(0));
+}
+
+TEST(Integration, PlacementReducesProposedCableCostMoreThanTorus) {
+  const auto proposed = solve_orp(128, 10, quick(800));
+  const auto torus = build_torus(TorusParams{3, 3, 12}, 128);
+  auto saved_fraction = [](const HostSwitchGraph& g) {
+    std::vector<std::uint32_t> identity(g.num_switches());
+    for (std::uint32_t i = 0; i < g.num_switches(); ++i) identity[i] = i;
+    const double before = cable_cost_under_placement(g, identity);
+    const double after =
+        cable_cost_under_placement(g, optimize_placement(g, 8000, 3));
+    return 1.0 - after / before;
+  };
+  EXPECT_GE(saved_fraction(proposed.graph), saved_fraction(torus) - 1e-9);
+}
+
+TEST(Integration, FatTreeFullBisectionShowsInPartitionAndTraffic) {
+  const auto fattree = build_fattree(FatTreeParams{8}, 128);
+  const auto proposed = solve_orp(128, 8, quick(800));
+  // Fat-tree cuts more links at the bisection...
+  EXPECT_GT(host_switch_cut(fattree, 2, 5), host_switch_cut(proposed.graph, 2, 5));
+  // ...but the proposed topology reaches hosts in fewer hops on average.
+  EXPECT_LT(proposed.metrics.h_aspl, compute_host_metrics(fattree).h_aspl);
+}
+
+}  // namespace
+}  // namespace orp

@@ -1,0 +1,218 @@
+// Tests for the multilevel partitioner: CSR construction, coarsening
+// invariants, FM refinement, bisection quality on graphs with known cuts,
+// and k-way balance across P = 2..16.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/prng.hpp"
+#include "partition/coarsen.hpp"
+#include "partition/fm.hpp"
+#include "partition/partition.hpp"
+#include "topo/fattree.hpp"
+#include "topo/torus.hpp"
+
+namespace orp {
+namespace {
+
+using Edge = std::pair<std::uint32_t, std::uint32_t>;
+
+// Two K5 cliques joined by a single bridge edge: optimal bisection cut = 1.
+CsrGraph two_cliques() {
+  std::vector<Edge> edges;
+  for (std::uint32_t offset : {0u, 5u}) {
+    for (std::uint32_t i = 0; i < 5; ++i) {
+      for (std::uint32_t j = i + 1; j < 5; ++j) {
+        edges.push_back({offset + i, offset + j});
+      }
+    }
+  }
+  edges.push_back({4, 5});
+  return csr_from_edges(10, edges);
+}
+
+CsrGraph ring(std::uint32_t n) {
+  std::vector<Edge> edges;
+  for (std::uint32_t i = 0; i < n; ++i) edges.push_back({i, (i + 1) % n});
+  return csr_from_edges(n, edges);
+}
+
+TEST(Csr, FromEdgesBuildsSymmetricGraph) {
+  const auto g = csr_from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}, {5, 1, 2, 7});
+  g.check_invariants();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.neighbors(1).size(), 2u);
+}
+
+TEST(Csr, FromHostSwitchGraphCountsAllVertices) {
+  const auto hsg = build_fattree(FatTreeParams{4}, 16);
+  const auto csr = csr_from_host_switch_graph(hsg);
+  csr.check_invariants();
+  EXPECT_EQ(csr.num_vertices(), 16u + 20u);
+  EXPECT_EQ(csr.num_edges(), hsg.num_edges());
+}
+
+TEST(Csr, SubgraphKeepsInternalEdgesOnly) {
+  const auto g = two_cliques();
+  std::vector<std::uint32_t> old_to_new;
+  const auto sub = csr_subgraph(g, {0, 1, 2, 3, 4}, old_to_new);
+  sub.check_invariants();
+  EXPECT_EQ(sub.num_vertices(), 5u);
+  EXPECT_EQ(sub.num_edges(), 10u);  // K5, bridge dropped
+  EXPECT_EQ(old_to_new[3], 3u);
+  EXPECT_EQ(old_to_new[7], 0xffffffffu);
+}
+
+TEST(Coarsen, PreservesTotalVertexWeight) {
+  Xoshiro256 rng(1);
+  const auto g = csr_from_host_switch_graph(build_torus(TorusParams{3, 3, 8}, 54));
+  const auto level = coarsen_once(g, rng);
+  level.graph.check_invariants();
+  EXPECT_EQ(level.graph.total_vertex_weight(), g.total_vertex_weight());
+  EXPECT_LT(level.graph.num_vertices(), g.num_vertices());
+}
+
+TEST(Coarsen, ProjectedCutMatchesFineCut) {
+  Xoshiro256 rng(2);
+  const auto g = csr_from_host_switch_graph(build_torus(TorusParams{2, 4, 8}, 32));
+  const auto level = coarsen_once(g, rng);
+  // Any coarse partition, projected to fine, must have the same cut.
+  std::vector<std::uint8_t> coarse_side(level.graph.num_vertices());
+  for (std::uint32_t v = 0; v < level.graph.num_vertices(); ++v) {
+    coarse_side[v] = static_cast<std::uint8_t>(v % 2);
+  }
+  std::vector<std::uint8_t> fine_side(g.num_vertices());
+  for (std::uint32_t v = 0; v < g.num_vertices(); ++v) {
+    fine_side[v] = coarse_side[level.map[v]];
+  }
+  EXPECT_EQ(bisection_cut(level.graph, coarse_side), bisection_cut(g, fine_side));
+}
+
+TEST(Coarsen, ChainReachesTarget) {
+  Xoshiro256 rng(3);
+  const auto g = csr_from_host_switch_graph(build_torus(TorusParams{5, 3, 15}, 1024));
+  const auto chain = coarsen_chain(g, rng, 48);
+  ASSERT_FALSE(chain.empty());
+  EXPECT_LE(chain.back().graph.num_vertices(), 200u);  // stalls allowed, but must shrink
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    EXPECT_LT(chain[i].graph.num_vertices(), chain[i - 1].graph.num_vertices());
+  }
+}
+
+TEST(Fm, ComputesCutCorrectly) {
+  const auto g = two_cliques();
+  std::vector<std::uint8_t> side(10, 0);
+  for (std::uint32_t v = 5; v < 10; ++v) side[v] = 1;
+  EXPECT_EQ(bisection_cut(g, side), 1u);
+  side[4] = 1;  // now 4's clique edges are cut, bridge is internal
+  EXPECT_EQ(bisection_cut(g, side), 4u);
+}
+
+TEST(Fm, RecoversOptimalCutFromBadStart) {
+  const auto g = two_cliques();
+  // Interleaved start: terrible cut (13). FM needs one-vertex slack in the
+  // caps to sequence moves (callers provide target + max vertex weight).
+  std::vector<std::uint8_t> side(10);
+  for (std::uint32_t v = 0; v < 10; ++v) side[v] = static_cast<std::uint8_t>(v % 2);
+  FmOptions options;
+  options.max_side_weight[0] = 6;
+  options.max_side_weight[1] = 6;
+  const auto cut = fm_refine(g, side, options);
+  EXPECT_EQ(cut, 1u);
+  EXPECT_EQ(bisection_cut(g, side), 1u);
+  std::uint64_t w0 = 0;
+  for (std::uint32_t v = 0; v < 10; ++v) w0 += (side[v] == 0);
+  EXPECT_GE(w0, 4u);
+  EXPECT_LE(w0, 6u);
+}
+
+TEST(Fm, RepairsImbalanceEvenIfCutGrows) {
+  const auto g = two_cliques();
+  std::vector<std::uint8_t> side(10, 0);  // everything on side 0 (cut 0)
+  FmOptions options;
+  options.max_side_weight[0] = 5;
+  options.max_side_weight[1] = 5;
+  fm_refine(g, side, options);
+  std::uint64_t w0 = 0;
+  for (std::uint32_t v = 0; v < 10; ++v) w0 += (side[v] == 0);
+  EXPECT_EQ(w0, 5u);
+}
+
+TEST(Bisect, FindsBridgeOnTwoCliques) {
+  Xoshiro256 rng(7);
+  const auto g = two_cliques();
+  const auto side = bisect(g, 0.5, rng);
+  EXPECT_EQ(bisection_cut(g, side), 1u);
+}
+
+TEST(Bisect, RingOptimalCutIsTwo) {
+  Xoshiro256 rng(11);
+  const auto g = ring(64);
+  const auto side = bisect(g, 0.5, rng);
+  EXPECT_EQ(bisection_cut(g, side), 2u);
+}
+
+TEST(Bisect, RespectsAsymmetricFraction) {
+  Xoshiro256 rng(13);
+  const auto g = ring(60);
+  const auto side = bisect(g, 1.0 / 3.0, rng);
+  std::uint64_t w0 = 0;
+  for (std::uint32_t v = 0; v < 60; ++v) w0 += (side[v] == 0);
+  EXPECT_NEAR(static_cast<double>(w0), 20.0, 2.0);
+}
+
+TEST(PartitionGraph, AssignmentCoversAllParts) {
+  Xoshiro256 rng(17);
+  const auto hsg = build_torus(TorusParams{3, 3, 8}, 54);
+  const auto g = csr_from_host_switch_graph(hsg);
+  for (std::uint32_t parts : {2u, 3u, 5u, 8u}) {
+    const auto result = partition_graph(g, parts, 17);
+    std::vector<bool> used(parts, false);
+    for (std::uint32_t p : result.assignment) {
+      ASSERT_LT(p, parts);
+      used[p] = true;
+    }
+    for (std::uint32_t p = 0; p < parts; ++p) EXPECT_TRUE(used[p]) << "parts=" << parts;
+    EXPECT_EQ(result.edge_cut, compute_edge_cut(g, result.assignment));
+  }
+}
+
+// Parameterized balance sweep over the paper's full P range.
+class KwayBalance : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(KwayBalance, PartsAreNearEqual) {
+  const std::uint32_t parts = GetParam();
+  const auto hsg = build_fattree(FatTreeParams{8}, 128);  // 208 vertices
+  const auto g = csr_from_host_switch_graph(hsg);
+  const auto result = partition_graph(g, parts, 23);
+  const double ideal = static_cast<double>(g.num_vertices()) / parts;
+  for (std::uint32_t p = 0; p < parts; ++p) {
+    EXPECT_LE(static_cast<double>(result.part_weights[p]), ideal * 1.25 + 2)
+        << "part " << p << " of " << parts;
+    EXPECT_GE(static_cast<double>(result.part_weights[p]), ideal * 0.70 - 2)
+        << "part " << p << " of " << parts;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRange, KwayBalance,
+                         ::testing::Range(2u, 17u));
+
+TEST(HostSwitchCut, FullBisectionFatTreeBeatsTorus) {
+  // The fat-tree is built for full bisection bandwidth; a 5-D torus with
+  // the same host count cuts far fewer links. This mirrors Fig. 11b vs 9b.
+  const auto fattree = build_fattree(FatTreeParams{8}, 128);
+  const auto torus = build_torus(TorusParams{5, 2, 12}, 128);
+  const auto cut_ft = host_switch_cut(fattree, 2, 29);
+  const auto cut_torus = host_switch_cut(torus, 2, 29);
+  EXPECT_GT(cut_ft, cut_torus);
+}
+
+TEST(PartitionGraph, RejectsBadArguments) {
+  const auto g = ring(8);
+  EXPECT_THROW(partition_graph(g, 0, 1), std::invalid_argument);
+  EXPECT_THROW(partition_graph(g, 9, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace orp

@@ -1,0 +1,115 @@
+// Tests for the simulated annealer: improvement over random starts,
+// structural invariants of the result, determinism, mode behaviour.
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "hsg/bounds.hpp"
+#include "search/annealer.hpp"
+#include "search/random_init.hpp"
+
+namespace orp {
+namespace {
+
+AnnealOptions quick(MoveMode mode, std::uint64_t iterations = 1500,
+                    std::uint64_t seed = 1) {
+  AnnealOptions options;
+  options.iterations = iterations;
+  options.mode = mode;
+  options.seed = seed;
+  return options;
+}
+
+TEST(Annealer, ImprovesOverRandomStart) {
+  Xoshiro256 rng(1);
+  const auto initial = random_host_switch_graph(96, 24, 8, rng);
+  const auto initial_metrics = compute_host_metrics(initial);
+  const auto result = anneal(initial, quick(MoveMode::kTwoNeighborSwing));
+  EXPECT_LE(result.best_metrics.total_length, initial_metrics.total_length);
+  EXPECT_LT(result.best_metrics.h_aspl, initial_metrics.h_aspl);
+  result.best.check_invariants();
+  EXPECT_TRUE(result.best_metrics.connected);
+}
+
+TEST(Annealer, BestNeverWorseThanReported) {
+  Xoshiro256 rng(2);
+  const auto initial = random_host_switch_graph(64, 16, 8, rng);
+  const auto result = anneal(initial, quick(MoveMode::kSwing));
+  const auto recomputed = compute_host_metrics(result.best);
+  EXPECT_EQ(recomputed.total_length, result.best_metrics.total_length);
+  EXPECT_EQ(recomputed.diameter, result.best_metrics.diameter);
+}
+
+TEST(Annealer, RespectsLowerBound) {
+  Xoshiro256 rng(3);
+  const auto initial = random_host_switch_graph(128, 32, 10, rng);
+  const auto result = anneal(initial, quick(MoveMode::kTwoNeighborSwing));
+  EXPECT_GE(result.best_metrics.h_aspl, haspl_lower_bound(128, 10) - 1e-12);
+}
+
+TEST(Annealer, DeterministicForEqualSeeds) {
+  Xoshiro256 rng_a(4), rng_b(4);
+  const auto init_a = random_host_switch_graph(64, 16, 8, rng_a);
+  const auto init_b = random_host_switch_graph(64, 16, 8, rng_b);
+  ASSERT_TRUE(init_a == init_b);
+  const auto res_a = anneal(init_a, quick(MoveMode::kTwoNeighborSwing, 800, 9));
+  const auto res_b = anneal(init_b, quick(MoveMode::kTwoNeighborSwing, 800, 9));
+  EXPECT_TRUE(res_a.best == res_b.best);
+  EXPECT_EQ(res_a.accepted, res_b.accepted);
+  EXPECT_EQ(res_a.evaluations, res_b.evaluations);
+}
+
+TEST(Annealer, SwapModePreservesHostDistribution) {
+  Xoshiro256 rng(5);
+  const auto initial = random_regular_host_switch_graph(96, 24, 8, rng);
+  const auto result = anneal(initial, quick(MoveMode::kSwap));
+  for (SwitchId s = 0; s < initial.num_switches(); ++s) {
+    EXPECT_EQ(result.best.hosts_on(s), initial.hosts_on(s));
+  }
+}
+
+TEST(Annealer, SwingModeCanChangeHostDistribution) {
+  Xoshiro256 rng(6);
+  const auto initial = random_host_switch_graph(96, 24, 8, rng);
+  const auto result = anneal(initial, quick(MoveMode::kTwoNeighborSwing, 3000));
+  bool changed = false;
+  for (SwitchId s = 0; s < initial.num_switches(); ++s) {
+    changed |= (result.best.hosts_on(s) != initial.hosts_on(s));
+  }
+  EXPECT_TRUE(changed);  // with 3000 iterations some swing lands
+}
+
+TEST(Annealer, PreservesEdgeAndPortBudget) {
+  Xoshiro256 rng(7);
+  const auto initial = random_host_switch_graph(80, 20, 9, rng);
+  const auto result = anneal(initial, quick(MoveMode::kTwoNeighborSwing));
+  EXPECT_EQ(result.best.num_switch_edges(), initial.num_switch_edges());
+  EXPECT_EQ(result.best.num_hosts(), initial.num_hosts());
+  EXPECT_TRUE(result.best.fully_attached());
+}
+
+TEST(Annealer, TraceRecordsSamples) {
+  Xoshiro256 rng(8);
+  const auto initial = random_host_switch_graph(48, 12, 8, rng);
+  auto options = quick(MoveMode::kTwoNeighborSwing, 1000);
+  options.trace_every = 100;
+  const auto result = anneal(initial, options);
+  EXPECT_EQ(result.trace.size(), 10u);
+  for (double sample : result.trace) EXPECT_GT(sample, 2.0);
+}
+
+TEST(Annealer, RejectsDisconnectedInitial) {
+  HostSwitchGraph g(2, 2, 4);
+  g.attach_host(0, 0);
+  g.attach_host(1, 1);
+  EXPECT_THROW(anneal(g, quick(MoveMode::kSwap)), std::invalid_argument);
+}
+
+TEST(Annealer, SingleSwitchGraphIsStable) {
+  HostSwitchGraph g(4, 1, 8);
+  for (HostId h = 0; h < 4; ++h) g.attach_host(h, 0);
+  const auto result = anneal(g, quick(MoveMode::kTwoNeighborSwing, 10));
+  EXPECT_DOUBLE_EQ(result.best_metrics.h_aspl, 2.0);
+}
+
+}  // namespace
+}  // namespace orp

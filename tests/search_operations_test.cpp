@@ -1,0 +1,185 @@
+// Tests for swap / swing operations and random initialization: validity,
+// exact invertibility, degree preservation.
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "search/operations.hpp"
+#include "search/random_init.hpp"
+
+namespace orp {
+namespace {
+
+using EdgeList = std::vector<std::pair<SwitchId, SwitchId>>;
+
+EdgeList edges_of(const HostSwitchGraph& g) {
+  EdgeList edges;
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    for (SwitchId t : g.neighbors(s)) {
+      if (s < t) edges.emplace_back(s, t);
+    }
+  }
+  return edges;
+}
+
+TEST(RandomInit, FeasibilityPredicate) {
+  EXPECT_TRUE(random_init_feasible(8, 1, 8));
+  EXPECT_FALSE(random_init_feasible(9, 1, 8));
+  EXPECT_TRUE(random_init_feasible(1024, 194, 15));
+  EXPECT_FALSE(random_init_feasible(1024, 10, 15));   // hosts don't fit
+  EXPECT_FALSE(random_init_feasible(100, 50, 3));     // 150 ports < 100+98
+  EXPECT_TRUE(random_init_feasible(100, 50, 4));      // 200 >= 198
+}
+
+TEST(RandomInit, ProducesValidConnectedGraphs) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Xoshiro256 rng(seed);
+    const auto g = random_host_switch_graph(200, 40, 12, rng);
+    g.check_invariants();
+    EXPECT_TRUE(g.fully_attached());
+    EXPECT_TRUE(g.switches_connected());
+  }
+}
+
+TEST(RandomInit, SaturatesMostPorts) {
+  Xoshiro256 rng(5);
+  const auto g = random_host_switch_graph(256, 60, 12, rng);
+  std::uint32_t free_ports = 0;
+  for (SwitchId s = 0; s < g.num_switches(); ++s) free_ports += g.free_ports(s);
+  EXPECT_LE(free_ports, 2u);  // at most parity leftovers
+}
+
+TEST(RandomInit, TightPortBudgetStillConnects) {
+  // m*r = 96 vs n + 2(m-1) = 30 + 62 = 92: only four spare port-endpoints.
+  Xoshiro256 rng(3);
+  const auto g = random_host_switch_graph(30, 32, 3, rng);
+  g.check_invariants();
+  EXPECT_TRUE(g.switches_connected());
+}
+
+TEST(RandomInit, RegularVariantBalancesHosts) {
+  Xoshiro256 rng(7);
+  const auto g = random_regular_host_switch_graph(120, 30, 10, rng);
+  for (SwitchId s = 0; s < g.num_switches(); ++s) EXPECT_EQ(g.hosts_on(s), 4u);
+}
+
+TEST(RandomInit, RegularVariantRejectsIndivisible) {
+  Xoshiro256 rng(7);
+  EXPECT_THROW(random_regular_host_switch_graph(121, 30, 10, rng),
+               std::invalid_argument);
+}
+
+TEST(RandomInit, ThrowsOnInfeasible) {
+  Xoshiro256 rng(1);
+  EXPECT_THROW(random_host_switch_graph(1024, 10, 15, rng), std::invalid_argument);
+}
+
+TEST(SwapOperation, ApplyThenInverseRestores) {
+  Xoshiro256 rng(11);
+  auto g = random_host_switch_graph(100, 25, 10, rng);
+  const auto before = g;
+  const auto move = propose_swap(g, edges_of(g), rng);
+  ASSERT_TRUE(move.has_value());
+  apply_swap(g, *move);
+  EXPECT_FALSE(g == before);
+  apply_swap(g, move->inverse());
+  EXPECT_TRUE(g == before);
+}
+
+TEST(SwapOperation, PreservesDegreesAndHosts) {
+  Xoshiro256 rng(13);
+  auto g = random_host_switch_graph(100, 25, 10, rng);
+  std::vector<std::uint32_t> degrees(g.num_switches()), hosts(g.num_switches());
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    degrees[s] = g.switch_degree(s);
+    hosts[s] = g.hosts_on(s);
+  }
+  for (int i = 0; i < 50; ++i) {
+    const auto move = propose_swap(g, edges_of(g), rng);
+    ASSERT_TRUE(move.has_value());
+    apply_swap(g, *move);
+    g.check_invariants();
+  }
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    EXPECT_EQ(g.switch_degree(s), degrees[s]);
+    EXPECT_EQ(g.hosts_on(s), hosts[s]);
+  }
+}
+
+TEST(SwingOperation, ApplyThenInverseRestores) {
+  Xoshiro256 rng(17);
+  auto g = random_host_switch_graph(100, 25, 10, rng);
+  const auto before = g;
+  const auto move = propose_swing(g, edges_of(g), rng);
+  ASSERT_TRUE(move.has_value());
+  apply_swing(g, *move);
+  EXPECT_FALSE(g == before);
+  apply_swing(g, move->inverse());
+  EXPECT_TRUE(g == before);
+}
+
+TEST(SwingOperation, MovesExactlyOneHost) {
+  Xoshiro256 rng(19);
+  auto g = random_host_switch_graph(100, 25, 10, rng);
+  const auto move = propose_swing(g, edges_of(g), rng);
+  ASSERT_TRUE(move.has_value());
+  const SwitchId from = g.host_switch(move->h);
+  EXPECT_EQ(from, move->c);
+  apply_swing(g, *move);
+  g.check_invariants();
+  EXPECT_EQ(g.host_switch(move->h), move->b);
+  // Total ports used is conserved.
+  EXPECT_TRUE(g.fully_attached());
+}
+
+TEST(SwingOperation, ValidityRejectsBadMoves) {
+  // Triangle of switches, host on each.
+  HostSwitchGraph g(3, 3, 5);
+  g.attach_host(0, 0);
+  g.attach_host(1, 1);
+  g.attach_host(2, 2);
+  g.add_switch_edge(0, 1);
+  g.add_switch_edge(1, 2);
+  // swing(a=0, b=1, c=2): needs edge {0,1} ok, host on 2 ok, but {0,2}
+  // absent — valid.
+  EXPECT_TRUE(swing_valid(g, SwingMove{0, 1, 2, 2}));
+  // c == a invalid.
+  EXPECT_FALSE(swing_valid(g, SwingMove{0, 1, 0, 0}));
+  // host not on c.
+  EXPECT_FALSE(swing_valid(g, SwingMove{0, 1, 2, 1}));
+  // missing edge {a,b}.
+  EXPECT_FALSE(swing_valid(g, SwingMove{0, 2, 1, 1}));
+  g.add_switch_edge(0, 2);
+  // now {a,c} exists -> invalid.
+  EXPECT_FALSE(swing_valid(g, SwingMove{0, 1, 2, 2}));
+}
+
+TEST(TwoNeighborSwing, CompletionNetEffectIsASwap) {
+  Xoshiro256 rng(23);
+  auto g = random_host_switch_graph(100, 25, 10, rng);
+  const auto before = g;
+  std::vector<std::uint32_t> hosts_before(g.num_switches());
+  for (SwitchId s = 0; s < g.num_switches(); ++s) hosts_before[s] = g.hosts_on(s);
+
+  // Find a first swing with a valid completion.
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    auto work = before;
+    const auto first = propose_swing(work, edges_of(work), rng);
+    if (!first) continue;
+    apply_swing(work, *first);
+    const auto completion = propose_completion_swing(work, *first, rng);
+    if (!completion) continue;
+    apply_swing(work, *completion);
+    work.check_invariants();
+    // Net effect is a swap: host distribution unchanged.
+    for (SwitchId s = 0; s < work.num_switches(); ++s) {
+      EXPECT_EQ(work.hosts_on(s), hosts_before[s]);
+    }
+    EXPECT_EQ(work.host_switch(first->h), before.host_switch(first->h));
+    EXPECT_EQ(work.num_switch_edges(), before.num_switch_edges());
+    return;
+  }
+  FAIL() << "no completable 2-neighbor swing found in 200 attempts";
+}
+
+}  // namespace
+}  // namespace orp

@@ -1,0 +1,126 @@
+// Tests for the end-to-end ORP solver and the clique construction.
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hpp"
+#include "hsg/bounds.hpp"
+#include "search/clique.hpp"
+#include "search/solver.hpp"
+
+namespace orp {
+namespace {
+
+SolveOptions quick(std::uint64_t iterations = 1200) {
+  SolveOptions options;
+  options.iterations = iterations;
+  return options;
+}
+
+TEST(CliqueGraph, SingleSwitchWhenHostsFit) {
+  const auto g = build_clique_graph(8, 24);
+  EXPECT_EQ(g.num_switches(), 1u);
+  EXPECT_DOUBLE_EQ(compute_host_metrics(g).h_aspl, 2.0);
+}
+
+TEST(CliqueGraph, PaperCaseN128R24) {
+  // §5.3: only for (n, r) = (128, 24) can the h-ASPL go below 3 (m = 8).
+  const auto g = build_clique_graph(128, 24);
+  EXPECT_EQ(g.num_switches(), 8u);
+  g.check_invariants();
+  const auto metrics = compute_host_metrics(g);
+  EXPECT_LT(metrics.h_aspl, 3.0);
+  EXPECT_EQ(metrics.diameter, 3u);
+  // Every switch pair is directly connected.
+  for (SwitchId a = 0; a < 8; ++a) {
+    for (SwitchId b = a + 1; b < 8; ++b) EXPECT_TRUE(g.has_switch_edge(a, b));
+  }
+}
+
+TEST(CliqueGraph, InfeasibleThrows) {
+  EXPECT_THROW(build_clique_graph(1024, 24), std::invalid_argument);
+}
+
+TEST(CliqueGraph, RespectsTheorem2) {
+  for (std::uint32_t n : {50u, 100u, 150u}) {
+    if (!clique_feasible(n, 24)) continue;
+    EXPECT_GE(clique_haspl(n, 24), haspl_lower_bound(n, 24) - 1e-12);
+  }
+}
+
+TEST(Solver, TrivialSingleSwitch) {
+  const auto result = solve_orp(8, 24, quick());
+  EXPECT_TRUE(result.used_clique);
+  EXPECT_EQ(result.switch_count, 1u);
+  EXPECT_DOUBLE_EQ(result.metrics.h_aspl, 2.0);
+}
+
+TEST(Solver, UsesCliqueWhenFeasible) {
+  const auto result = solve_orp(128, 24, quick());
+  EXPECT_TRUE(result.used_clique);
+  EXPECT_EQ(result.switch_count, 8u);
+  EXPECT_NEAR(result.metrics.h_aspl, clique_haspl(128, 24), 1e-12);
+}
+
+TEST(Solver, SearchPathProducesValidGraph) {
+  const auto result = solve_orp(256, 12, quick());
+  EXPECT_FALSE(result.used_clique);
+  result.graph.check_invariants();
+  EXPECT_TRUE(result.metrics.connected);
+  EXPECT_EQ(result.graph.num_switches(), result.switch_count);
+  EXPECT_EQ(result.switch_count, result.predicted_m_opt);
+  EXPECT_GE(result.metrics.h_aspl, result.haspl_lower_bound - 1e-12);
+}
+
+TEST(Solver, ForcedSwitchCountIsHonored) {
+  SolveOptions options = quick(600);
+  options.force_switch_count = 40;
+  const auto result = solve_orp(256, 12, options);
+  EXPECT_EQ(result.graph.num_switches(), 40u);
+  EXPECT_FALSE(result.used_clique);
+}
+
+TEST(Solver, ForcedInfeasibleSwitchCountThrows) {
+  SolveOptions options = quick(100);
+  options.force_switch_count = 5;  // 5 switches cannot carry 256 hosts at r=12
+  EXPECT_THROW(solve_orp(256, 12, options), std::invalid_argument);
+}
+
+TEST(Solver, RestartsKeepBest) {
+  SolveOptions one = quick(500);
+  one.restarts = 1;
+  one.seed = 42;
+  SolveOptions three = quick(500);
+  three.restarts = 3;
+  three.seed = 42;
+  const auto r1 = solve_orp(192, 10, one);
+  const auto r3 = solve_orp(192, 10, three);
+  EXPECT_LE(r3.metrics.total_length, r1.metrics.total_length);
+}
+
+TEST(Solver, PooledRestartsMatchSerialRestarts) {
+  // Restart scheduling must not affect results: each restart draws from
+  // its own deterministic sub-stream.
+  SolveOptions serial = quick(400);
+  serial.restarts = 3;
+  serial.seed = 77;
+  SolveOptions pooled = serial;
+  ThreadPool pool(3);
+  pooled.pool = &pool;
+  const auto a = solve_orp(192, 10, serial);
+  const auto b = solve_orp(192, 10, pooled);
+  EXPECT_TRUE(a.graph == b.graph);
+  EXPECT_EQ(a.metrics.total_length, b.metrics.total_length);
+}
+
+TEST(Solver, SolutionBeatsNaiveRandomOnAverage) {
+  // SA at m_opt should land well under the continuous Moore bound + 20%.
+  const auto result = solve_orp(256, 12, quick(2500));
+  EXPECT_LT(result.metrics.h_aspl, result.continuous_moore_bound * 1.2);
+}
+
+TEST(Solver, RejectsDegenerateInputs) {
+  EXPECT_THROW(solve_orp(1, 12, quick()), std::invalid_argument);
+  EXPECT_THROW(solve_orp(100, 2, quick()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace orp

@@ -1,0 +1,105 @@
+// Tests for collective algorithms on NON-power-of-two rank counts (the
+// fallback paths: reduce+bcast allreduce, ring allgather, shifted-partner
+// alltoall).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/machine.hpp"
+
+namespace orp {
+namespace {
+
+SimParams simple_params() {
+  SimParams p;
+  p.link_bandwidth = 1e9;
+  p.hop_latency = 1e-6;
+  p.mpi_overhead = 1e-6;
+  return p;
+}
+
+HostSwitchGraph star_graph(std::uint32_t n) {
+  HostSwitchGraph g(n, 1, n + 2);
+  for (HostId h = 0; h < n; ++h) g.attach_host(h, 0);
+  return g;
+}
+
+class NonPowerOfTwoCollectives : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(NonPowerOfTwoCollectives, AllCollectivesTerminateWithPositiveTime) {
+  const std::uint32_t n = GetParam();
+  Machine m(star_graph(n), simple_params());
+  EXPECT_GT(m.barrier(), 0.0);
+  EXPECT_GT(m.bcast(1000), 0.0);
+  EXPECT_GT(m.reduce(1000), 0.0);
+  EXPECT_GT(m.allreduce(1000), 0.0);
+  EXPECT_GT(m.allgather(1000), 0.0);
+  EXPECT_GT(m.alltoall(100), 0.0);
+  EXPECT_GT(m.scatter(1000), 0.0);
+  EXPECT_GT(m.gather(1000), 0.0);
+  EXPECT_GT(m.reduce_scatter(1000), 0.0);
+  EXPECT_GT(m.ring_allreduce(10000), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(OddSizes, NonPowerOfTwoCollectives,
+                         ::testing::Values(3u, 5u, 6u, 7u, 9u, 12u, 15u));
+
+TEST(NonPowerOfTwo, AllreduceFallsBackToReduceBcast) {
+  Machine m(star_graph(6), simple_params());
+  const double allreduce_time = m.allreduce(100000);
+  m.reset();
+  const double reduce_time = m.reduce(100000);
+  const double bcast_time = m.bcast(100000);
+  EXPECT_NEAR(allreduce_time, reduce_time + bcast_time, 1e-12);
+}
+
+TEST(NonPowerOfTwo, AlltoallShiftedPartnersCoverAllPairs) {
+  // alltoallv with a recorder: every ordered pair (src != dst) must be
+  // messaged exactly once across the rounds.
+  Machine m(star_graph(6), simple_params());
+  std::set<std::pair<Rank, Rank>> seen;
+  m.alltoallv([&](Rank src, Rank dst) {
+    EXPECT_TRUE(seen.insert({src, dst}).second) << src << "->" << dst;
+    return std::uint64_t{1};
+  });
+  EXPECT_EQ(seen.size(), 6u * 5u);
+}
+
+TEST(PowerOfTwo, AlltoallXorPartnersCoverAllPairs) {
+  // The XOR pairing (power-of-two path) must also message every ordered
+  // pair exactly once.
+  Machine m(star_graph(8), simple_params());
+  std::set<std::pair<Rank, Rank>> seen;
+  m.alltoallv([&](Rank src, Rank dst) {
+    EXPECT_TRUE(seen.insert({src, dst}).second) << src << "->" << dst;
+    return std::uint64_t{1};
+  });
+  EXPECT_EQ(seen.size(), 8u * 7u);
+}
+
+TEST(NonPowerOfTwo, ScatterDeliversAllSubtrees) {
+  // 6 ranks: top = 8; strides 4, 2, 1. Root sends min(4, 6-4)=2 blocks at
+  // stride 4; 2 senders x up-to-2 blocks at stride 2; 2-3 senders at 1.
+  Machine m(star_graph(6), simple_params());
+  const double elapsed = m.scatter(100000000);
+  // Bottleneck round: stride-2 round moves 2 blocks from rank 0 (0.2 s).
+  EXPECT_GT(elapsed, 0.35);
+  EXPECT_LT(elapsed, 0.75);
+}
+
+TEST(NonPowerOfTwo, BarrierDisseminationRounds) {
+  // ceil(log2(6)) = 3 rounds of zero-byte messages.
+  Machine m(star_graph(6), simple_params());
+  const double elapsed = m.barrier();
+  EXPECT_NEAR(elapsed, 3 * 3e-6, 1e-9);
+}
+
+TEST(NonPowerOfTwo, RingAllgatherMatchesByHand) {
+  // 5 ranks, ring allgather: 4 rounds of 1e8 bytes on disjoint host links.
+  Machine m(star_graph(5), simple_params());
+  const double elapsed = m.allgather(100000000);
+  EXPECT_NEAR(elapsed, 0.4 + 4 * 3e-6, 1e-7);
+}
+
+}  // namespace
+}  // namespace orp

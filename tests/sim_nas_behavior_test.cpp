@@ -1,0 +1,111 @@
+// Behavioral tests for the NAS communication skeletons: determinism,
+// iteration scaling, pattern sensitivity to topology and rank mapping.
+#include <gtest/gtest.h>
+
+#include "search/solver.hpp"
+#include "sim/nas.hpp"
+#include "topo/attach.hpp"
+#include "topo/fattree.hpp"
+#include "topo/torus.hpp"
+
+namespace orp {
+namespace {
+
+Machine small_machine() {
+  return Machine(build_fattree(FatTreeParams{8}, 64), SimParams{});
+}
+
+TEST(NasBehavior, DeterministicAcrossRuns) {
+  Machine m = small_machine();
+  NasOptions options;
+  options.iteration_fraction = 0.1;
+  for (const NasKernel kernel : all_nas_kernels()) {
+    const auto a = run_nas_kernel(m, kernel, options);
+    const auto b = run_nas_kernel(m, kernel, options);
+    EXPECT_DOUBLE_EQ(a.seconds, b.seconds) << a.name;
+    EXPECT_DOUBLE_EQ(a.mops_per_second, b.mops_per_second) << a.name;
+  }
+}
+
+TEST(NasBehavior, TimeScalesWithIterationFraction) {
+  Machine m = small_machine();
+  NasOptions tenth;
+  tenth.iteration_fraction = 0.1;
+  NasOptions half;
+  half.iteration_fraction = 0.5;
+  for (const NasKernel kernel : {NasKernel::kMG, NasKernel::kCG, NasKernel::kLU}) {
+    const auto small = run_nas_kernel(m, kernel, tenth);
+    const auto large = run_nas_kernel(m, kernel, half);
+    // 5x the iterations => ~5x the time (exactly, given identical rounds).
+    EXPECT_NEAR(large.seconds / small.seconds, 5.0, 0.35)
+        << nas_kernel_name(kernel);
+    // Mop/s is iteration-count invariant (same work per second).
+    EXPECT_NEAR(large.mops_per_second / small.mops_per_second, 1.0, 0.07)
+        << nas_kernel_name(kernel);
+  }
+}
+
+TEST(NasBehavior, FullFractionMatchesClassIterations) {
+  Machine m = small_machine();
+  NasOptions full;
+  full.iteration_fraction = 1.0;
+  // Smoke: the full class-B LU (250 iterations) still simulates quickly.
+  const auto lu = run_nas_kernel(m, NasKernel::kLU, full);
+  EXPECT_GT(lu.seconds, 0.0);
+}
+
+TEST(NasBehavior, BadFractionThrows) {
+  Machine m = small_machine();
+  NasOptions bad;
+  bad.iteration_fraction = 0.0;
+  EXPECT_THROW(run_nas_kernel(m, NasKernel::kMG, bad), std::invalid_argument);
+  bad.iteration_fraction = 1.5;
+  EXPECT_THROW(run_nas_kernel(m, NasKernel::kMG, bad), std::invalid_argument);
+}
+
+TEST(NasBehavior, CommKernelsPreferLowHasplTopology) {
+  // 64 ranks: fat-tree h-ASPL ~5.69 vs a single-switch star h-ASPL 2 —
+  // communication-bound kernels must run faster on the star.
+  HostSwitchGraph star(64, 1, 66);
+  for (HostId h = 0; h < 64; ++h) star.attach_host(h, 0);
+  Machine star_machine(star, SimParams{});
+  Machine tree_machine = small_machine();
+  NasOptions options;
+  options.iteration_fraction = 0.1;
+  for (const NasKernel kernel : {NasKernel::kIS, NasKernel::kFT, NasKernel::kMG}) {
+    const auto on_star = run_nas_kernel(star_machine, kernel, options);
+    const auto on_tree = run_nas_kernel(tree_machine, kernel, options);
+    EXPECT_LT(on_star.seconds, on_tree.seconds) << nas_kernel_name(kernel);
+  }
+}
+
+TEST(NasBehavior, RankMappingMovesNeighborKernels) {
+  // On a 3-D torus, the identity mapping aligns MG's process grid with
+  // the machine; a reversed mapping breaks locality and slows MG down
+  // (or at least never speeds it up).
+  const auto torus = build_torus(TorusParams{3, 4, 8}, 64);
+  std::vector<HostId> reversed(64);
+  for (HostId h = 0; h < 64; ++h) reversed[h] = 63 - h;
+  Machine aligned(torus, SimParams{});
+  Machine scrambled(torus, SimParams{}, reversed);
+  NasOptions options;
+  options.iteration_fraction = 0.2;
+  const auto a = run_nas_kernel(aligned, NasKernel::kMG, options);
+  const auto b = run_nas_kernel(scrambled, NasKernel::kMG, options);
+  // Reversal maps x-neighbors to x-neighbors (|i-j| preserved), so allow
+  // equality; the EP control must be mapping-invariant.
+  EXPECT_LE(a.seconds, b.seconds * 1.001);
+  const auto ep_a = run_nas_kernel(aligned, NasKernel::kEP, options);
+  const auto ep_b = run_nas_kernel(scrambled, NasKernel::kEP, options);
+  EXPECT_NEAR(ep_a.seconds, ep_b.seconds, 1e-9);
+}
+
+TEST(NasBehavior, KernelNamesRoundTrip) {
+  for (const NasKernel kernel : all_nas_kernels()) {
+    EXPECT_STRNE(nas_kernel_name(kernel), "?");
+  }
+  EXPECT_EQ(all_nas_kernels().size(), 8u);
+}
+
+}  // namespace
+}  // namespace orp

@@ -1,0 +1,142 @@
+// Tests for the packet-level simulator, including agreement with the
+// fluid engine on large flows (the validation behind the SimGrid
+// substitution).
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "search/random_init.hpp"
+#include "sim/packet.hpp"
+#include "sim/traffic.hpp"
+#include "topo/fattree.hpp"
+
+namespace orp {
+namespace {
+
+PacketSimParams packet_params(std::uint64_t packet_bytes = 4096) {
+  PacketSimParams p;
+  p.base.link_bandwidth = 1e9;
+  p.base.hop_latency = 1e-6;
+  p.base.mpi_overhead = 1e-6;
+  p.packet_bytes = packet_bytes;
+  return p;
+}
+
+HostSwitchGraph pair_graph() {
+  HostSwitchGraph g(2, 1, 4);
+  g.attach_host(0, 0);
+  g.attach_host(1, 0);
+  return g;
+}
+
+HostSwitchGraph quad_graph() {
+  HostSwitchGraph g(4, 1, 8);
+  for (HostId h = 0; h < 4; ++h) g.attach_host(h, 0);
+  return g;
+}
+
+TEST(PacketSim, SinglePacketTiming) {
+  PacketMachine m(pair_graph(), packet_params());
+  // 1000 bytes over 2 links: overhead + 2 * (tx + latency).
+  const auto result = m.phase({{0, 1, 1000}});
+  EXPECT_EQ(result.packets, 1u);
+  const double tx = 1000.0 / 1e9;
+  EXPECT_NEAR(result.elapsed, 1e-6 + 2 * (tx + 1e-6), 1e-12);
+}
+
+TEST(PacketSim, SegmentsMessagesIntoMtuPackets) {
+  PacketMachine m(pair_graph(), packet_params(1000));
+  const auto result = m.phase({{0, 1, 2500}});
+  EXPECT_EQ(result.packets, 3u);  // 1000 + 1000 + 500
+}
+
+TEST(PacketSim, PipeliningBeatsStoreAndForwardOfWholeMessage) {
+  // With many packets, transmission overlaps across hops: elapsed is far
+  // below hops * message_tx for a multi-hop path.
+  HostSwitchGraph g(2, 3, 4);
+  g.attach_host(0, 0);
+  g.attach_host(1, 2);
+  g.add_switch_edge(0, 1);
+  g.add_switch_edge(1, 2);
+  PacketMachine m(g, packet_params());
+  const std::uint64_t bytes = 10000000;
+  const auto result = m.phase({{0, 1, bytes}});
+  const double one_hop_tx = static_cast<double>(bytes) / 1e9;
+  EXPECT_GT(result.elapsed, one_hop_tx);
+  EXPECT_LT(result.elapsed, 1.5 * one_hop_tx);  // 4 hops un-pipelined would be 4x
+}
+
+TEST(PacketSim, SelfAndEmptyMessagesAreFree) {
+  PacketMachine m(pair_graph(), packet_params());
+  const auto result = m.phase({{0, 0, 1000}, {0, 1, 0}});
+  EXPECT_EQ(result.packets, 0u);
+  EXPECT_DOUBLE_EQ(result.elapsed, 0.0);
+}
+
+TEST(PacketSim, SharedLinkSerializes) {
+  // Two 1 MB messages into the same destination: its down-link serializes
+  // them -> ~2x the single-message time.
+  PacketMachine m(quad_graph(), packet_params());
+  const auto one = m.phase({{0, 1, 1000000}});
+  const auto two = m.phase({{0, 1, 1000000}, {2, 1, 1000000}});
+  EXPECT_NEAR(two.elapsed, 2.0 * one.elapsed, 0.1 * one.elapsed);
+}
+
+TEST(PacketSim, AgreesWithFluidModelOnLargeFlows) {
+  // The headline validation: on contended random topologies with large
+  // messages, packet-level elapsed time matches the fluid engine within a
+  // few percent.
+  Xoshiro256 rng(3);
+  const auto g = random_host_switch_graph(32, 8, 8, rng);
+  SimParams fluid_params;
+  fluid_params.link_bandwidth = 1e9;
+  fluid_params.hop_latency = 1e-6;
+  fluid_params.mpi_overhead = 1e-6;
+  Machine fluid(g, fluid_params);
+  PacketSimParams pkt_params;
+  pkt_params.base = fluid_params;
+  PacketMachine packets(g, pkt_params);
+
+  Xoshiro256 traffic_rng(4);
+  for (const TrafficPattern pattern :
+       {TrafficPattern::kPermutation, TrafficPattern::kUniformRandom,
+        TrafficPattern::kNeighborRing}) {
+    Xoshiro256 a = traffic_rng.split();
+    Xoshiro256 b = a;  // identical pattern for both engines
+    const auto messages = make_traffic(pattern, 32, 4000000, a);
+    const auto msgs_copy = make_traffic(pattern, 32, 4000000, b);
+    ASSERT_EQ(messages.size(), msgs_copy.size());
+    const double fluid_time = fluid.phase(messages);
+    const auto packet_result = packets.phase(messages);
+    EXPECT_NEAR(packet_result.elapsed, fluid_time, 0.12 * fluid_time)
+        << traffic_pattern_name(pattern);
+  }
+}
+
+TEST(PacketSim, FatTreeAlltoallAgreement) {
+  const auto g = build_fattree(FatTreeParams{4}, 16);
+  SimParams fluid_params;
+  fluid_params.link_bandwidth = 1e9;
+  fluid_params.hop_latency = 1e-6;
+  fluid_params.mpi_overhead = 1e-6;
+  Machine fluid(g, fluid_params);
+  PacketSimParams pkt_params;
+  pkt_params.base = fluid_params;
+  PacketMachine packets(g, pkt_params);
+
+  // One pairwise-exchange round: rank r <-> r ^ 5.
+  std::vector<Message> round;
+  for (Rank r = 0; r < 16; ++r) round.push_back({r, r ^ 5u, 2000000});
+  const double fluid_time = fluid.phase(round);
+  const auto packet_result = packets.phase(round);
+  EXPECT_NEAR(packet_result.elapsed, fluid_time, 0.15 * fluid_time);
+}
+
+TEST(PacketSim, LatencyStatsAreOrdered) {
+  PacketMachine m(quad_graph(), packet_params());
+  const auto result = m.phase({{0, 1, 100000}, {2, 3, 1000}});
+  EXPECT_GT(result.mean_packet_latency, 0.0);
+  EXPECT_GE(result.max_packet_latency, result.mean_packet_latency);
+}
+
+}  // namespace
+}  // namespace orp

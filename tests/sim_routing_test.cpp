@@ -1,0 +1,138 @@
+// Tests for shortest-path routing: minimality, determinism, link ids.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/prng.hpp"
+#include "hsg/metrics.hpp"
+#include "search/random_init.hpp"
+#include "sim/routing.hpp"
+#include "topo/fattree.hpp"
+#include "topo/torus.hpp"
+
+namespace orp {
+namespace {
+
+HostSwitchGraph line_graph() {
+  // host0 - s0 - s1 - s2 - host1
+  HostSwitchGraph g(2, 3, 4);
+  g.attach_host(0, 0);
+  g.attach_host(1, 2);
+  g.add_switch_edge(0, 1);
+  g.add_switch_edge(1, 2);
+  return g;
+}
+
+TEST(Routing, PathAlongALine) {
+  const auto g = line_graph();
+  const RoutingTable routes(g);
+  std::vector<LinkId> path;
+  const auto hops = routes.append_host_path(0, 1, path);
+  EXPECT_EQ(hops, 4u);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[0], routes.host_uplink(0));
+  EXPECT_EQ(path[1], routes.switch_link(0, 1));
+  EXPECT_EQ(path[2], routes.switch_link(1, 2));
+  EXPECT_EQ(path[3], routes.host_downlink(1));
+}
+
+TEST(Routing, LinkIdsAreUniqueAndDirected) {
+  const auto g = line_graph();
+  const RoutingTable routes(g);
+  // 2 hosts * 2 + 2 edges * 2 directions = 8 links.
+  EXPECT_EQ(routes.num_links(), 8u);
+  std::set<LinkId> ids{routes.host_uplink(0), routes.host_downlink(0),
+                       routes.host_uplink(1), routes.host_downlink(1),
+                       routes.switch_link(0, 1), routes.switch_link(1, 0),
+                       routes.switch_link(1, 2), routes.switch_link(2, 1)};
+  EXPECT_EQ(ids.size(), 8u);
+}
+
+TEST(Routing, HopCountMatchesGraphDistanceEverywhere) {
+  Xoshiro256 rng(3);
+  const auto g = random_host_switch_graph(60, 15, 8, rng);
+  const RoutingTable routes(g);
+  // Route length must equal l(h_i, h_j) = d(s_i, s_j) + 2 for every pair.
+  for (HostId a = 0; a < g.num_hosts(); ++a) {
+    for (HostId b = 0; b < g.num_hosts(); ++b) {
+      if (a == b) continue;
+      std::vector<LinkId> path;
+      const auto hops = routes.append_host_path(a, b, path);
+      EXPECT_EQ(hops,
+                routes.switch_distance(g.host_switch(a), g.host_switch(b)) + 2);
+    }
+  }
+}
+
+TEST(Routing, SameSwitchPairIsTwoHops) {
+  HostSwitchGraph g(2, 1, 4);
+  g.attach_host(0, 0);
+  g.attach_host(1, 0);
+  const RoutingTable routes(g);
+  std::vector<LinkId> path;
+  EXPECT_EQ(routes.append_host_path(0, 1, path), 2u);
+}
+
+TEST(Routing, DeterministicTieBreak) {
+  // Square of switches: two shortest paths from s0 to s3; the lowest-id
+  // next hop (s1) must win.
+  HostSwitchGraph g(2, 4, 4);
+  g.attach_host(0, 0);
+  g.attach_host(1, 3);
+  g.add_switch_edge(0, 1);
+  g.add_switch_edge(0, 2);
+  g.add_switch_edge(1, 3);
+  g.add_switch_edge(2, 3);
+  const RoutingTable routes(g);
+  std::vector<LinkId> path;
+  routes.append_host_path(0, 1, path);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[1], routes.switch_link(0, 1));
+  EXPECT_EQ(path[2], routes.switch_link(1, 3));
+}
+
+TEST(Routing, FatTreeDistances) {
+  const auto g = build_fattree(FatTreeParams{4}, 16);
+  const RoutingTable routes(g);
+  std::vector<LinkId> path;
+  // Hosts 0 and 1 share edge switch 0 (round-robin: host h -> edge h%8).
+  // Instead derive pairs from the graph to be robust to attachment order.
+  HostId same_a = 0, same_b = 0, cross_a = 0, cross_b = 0;
+  for (HostId a = 0; a < 16 && (same_a == same_b || cross_a == cross_b); ++a) {
+    for (HostId b = a + 1; b < 16; ++b) {
+      if (g.host_switch(a) == g.host_switch(b)) {
+        same_a = a;
+        same_b = b;
+      } else if (g.host_switch(a) / 2 != g.host_switch(b) / 2) {
+        cross_a = a;
+        cross_b = b;  // different pods
+      }
+    }
+  }
+  path.clear();
+  EXPECT_EQ(routes.append_host_path(same_a, same_b, path), 2u);
+  path.clear();
+  EXPECT_EQ(routes.append_host_path(cross_a, cross_b, path), 6u);
+}
+
+TEST(Routing, TorusUsesMinimalRoutes) {
+  const auto g = build_torus(TorusParams{2, 5, 8}, 25);
+  const RoutingTable routes(g);
+  const auto metrics = compute_switch_metrics(g);
+  std::uint32_t max_dist = 0;
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    for (SwitchId t = 0; t < g.num_switches(); ++t) {
+      if (s != t) max_dist = std::max(max_dist, routes.switch_distance(s, t));
+    }
+  }
+  EXPECT_EQ(max_dist, metrics.diameter);
+}
+
+TEST(Routing, RejectsDetachedHosts) {
+  HostSwitchGraph g(2, 1, 4);
+  g.attach_host(0, 0);
+  EXPECT_THROW(RoutingTable{g}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace orp

@@ -1,0 +1,123 @@
+// Tests for the channel-dependency cycle checker and up*/down* routing.
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "hsg/metrics.hpp"
+#include "search/random_init.hpp"
+#include "sim/updown.hpp"
+#include "topo/fattree.hpp"
+#include "topo/torus.hpp"
+
+namespace orp {
+namespace {
+
+TEST(DeadlockCheck, TreeRoutingIsAcyclic) {
+  // A path of switches: routes never turn, no cycle possible.
+  HostSwitchGraph g(2, 4, 4);
+  g.attach_host(0, 0);
+  g.attach_host(1, 3);
+  g.add_switch_edge(0, 1);
+  g.add_switch_edge(1, 2);
+  g.add_switch_edge(2, 3);
+  EXPECT_FALSE(shortest_path_routing_has_cycle(g, RoutingTable(g)));
+}
+
+TEST(DeadlockCheck, TorusShortestPathsDeadlock) {
+  // Rings are the canonical deadlock example: minimal routing around a
+  // cycle creates a cyclic channel dependency.
+  const auto g = build_torus(TorusParams{1, 6, 4}, 6);
+  EXPECT_TRUE(shortest_path_routing_has_cycle(g, RoutingTable(g)));
+}
+
+TEST(DeadlockCheck, RandomIrregularTopologiesUsuallyDeadlock) {
+  // The hazard the up*/down* router exists for: shortest paths on searched
+  // irregular topologies form CDG cycles.
+  int cyclic = 0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Xoshiro256 rng(seed);
+    const auto g = random_host_switch_graph(96, 24, 8, rng);
+    cyclic += shortest_path_routing_has_cycle(g, RoutingTable(g));
+  }
+  EXPECT_GE(cyclic, 3);
+}
+
+TEST(UpDown, LevelsFollowBfs) {
+  const auto g = build_torus(TorusParams{1, 6, 4}, 6);  // ring of 6
+  const UpDownRouting routing(g, 0);
+  EXPECT_EQ(routing.level(0), 0u);
+  EXPECT_EQ(routing.level(1), 1u);
+  EXPECT_EQ(routing.level(5), 1u);
+  EXPECT_EQ(routing.level(3), 3u);
+}
+
+TEST(UpDown, DistancesAtLeastShortest) {
+  Xoshiro256 rng(5);
+  const auto g = random_host_switch_graph(80, 20, 8, rng);
+  const RoutingTable shortest(g);
+  const UpDownRouting updown(g, 0);
+  for (SwitchId s = 0; s < 20; ++s) {
+    for (SwitchId t = 0; t < 20; ++t) {
+      if (s == t) continue;
+      EXPECT_GE(updown.switch_distance(s, t), shortest.switch_distance(s, t));
+      EXPECT_NE(updown.switch_distance(s, t), UpDownRouting::kUnreachable);
+    }
+  }
+}
+
+TEST(UpDown, RingDetour) {
+  // Ring of 6 rooted at 0: the hop 3->4 is "up" toward... levels are
+  // 0,1,2,3,2,1; the pair (2,4) has shortest distance 2 (via 3) but that
+  // route goes down (2->3) then up (3->4), which is illegal; the legal
+  // route climbs 2->1->0->5->4 = 4 hops.
+  const auto g = build_torus(TorusParams{1, 6, 4}, 6);
+  const UpDownRouting routing(g, 0);
+  const RoutingTable shortest(g);
+  EXPECT_EQ(shortest.switch_distance(2, 4), 2u);
+  EXPECT_EQ(routing.switch_distance(2, 4), 4u);
+}
+
+TEST(UpDown, FatTreeIsNativeUpDown) {
+  // The fat-tree's shortest paths already go up then down, so up*/down*
+  // adds zero inflation (with the root in the core layer).
+  // Switch ids: [0,8) edge, [8,16) aggregation, [16,20) core.
+  const auto g = build_fattree(FatTreeParams{4}, 16);
+  const UpDownRouting routing(g, /*root=*/16);  // a core switch
+  const auto metrics = compute_host_metrics(g);
+  EXPECT_DOUBLE_EQ(routing.routed_haspl(g), metrics.h_aspl);
+  EXPECT_EQ(routing.routed_diameter(g), metrics.diameter);
+}
+
+TEST(UpDown, RoutedHasplBoundsGraphHaspl) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Xoshiro256 rng(seed);
+    const auto g = random_host_switch_graph(96, 24, 8, rng);
+    const auto metrics = compute_host_metrics(g);
+    const UpDownRouting routing(g, 0);
+    EXPECT_GE(routing.routed_haspl(g), metrics.h_aspl - 1e-12) << "seed=" << seed;
+    EXPECT_GE(routing.routed_diameter(g), metrics.diameter) << "seed=" << seed;
+  }
+}
+
+TEST(UpDown, RootChoiceChangesInflation) {
+  Xoshiro256 rng(9);
+  const auto g = random_host_switch_graph(96, 24, 8, rng);
+  double best = 1e9, worst = 0;
+  for (SwitchId root = 0; root < 8; ++root) {
+    const double haspl = UpDownRouting(g, root).routed_haspl(g);
+    best = std::min(best, haspl);
+    worst = std::max(worst, haspl);
+  }
+  EXPECT_LE(best, worst);  // and typically strictly — roots matter
+  EXPECT_GT(worst, 0.0);
+}
+
+TEST(UpDown, SingleSwitchTrivial) {
+  HostSwitchGraph g(3, 1, 4);
+  for (HostId h = 0; h < 3; ++h) g.attach_host(h, 0);
+  const UpDownRouting routing(g, 0);
+  EXPECT_DOUBLE_EQ(routing.routed_haspl(g), 2.0);
+  EXPECT_EQ(routing.routed_diameter(g), 2u);
+}
+
+}  // namespace
+}  // namespace orp
