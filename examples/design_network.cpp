@@ -14,6 +14,7 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "cost/evaluate.hpp"
+#include "obs/sink.hpp"
 #include "hsg/bounds.hpp"
 #include "hsg/io.hpp"
 #include "hsg/metrics.hpp"
@@ -56,7 +57,9 @@ int main(int argc, char** argv) {
   cli.option("iters", "3000", "simulated-annealing iterations");
   cli.option("seed", "1", "random seed");
   cli.option("out", "", "write the proposed topology to this .hsg file");
+  obs::add_cli_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  obs::apply_cli(cli);
 
   const auto n = static_cast<std::uint32_t>(cli.get_int("hosts"));
   const auto r = static_cast<std::uint32_t>(cli.get_int("radix"));
@@ -116,5 +119,7 @@ int main(int argc, char** argv) {
     }
     std::cout << "wrote " << path << "\n";
   }
+  if (obs::cli_wants_summary(cli)) obs::print_summary(std::cout);
+  obs::flush();
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "common/table.hpp"
 #include "hsg/bounds.hpp"
 #include "hsg/io.hpp"
+#include "obs/sink.hpp"
 #include "search/solver.hpp"
 
 int main(int argc, char** argv) {
@@ -26,7 +27,9 @@ int main(int argc, char** argv) {
   cli.option("seed", "1", "random seed");
   cli.option("out", "", "write the solution graph to this .hsg file");
   cli.option("dot", "", "write a Graphviz rendering to this .dot file");
+  obs::add_cli_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  obs::apply_cli(cli);
 
   const auto n = static_cast<std::uint32_t>(cli.get_int("hosts"));
   const auto r = static_cast<std::uint32_t>(cli.get_int("radix"));
@@ -75,5 +78,7 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (obs::cli_wants_summary(cli)) obs::print_summary(std::cout);
+  obs::flush();
   return 0;
 }

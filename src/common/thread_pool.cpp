@@ -3,7 +3,25 @@
 #include <atomic>
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace orp {
+namespace {
+
+// Cached instrument references: looked up once, bumped on every enqueue /
+// task run. Compiled out entirely under ORP_OBS_DISABLED.
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& gauge = obs::Registry::global().gauge("threadpool.queue_depth");
+  return gauge;
+}
+
+obs::Histogram& task_latency_histogram() {
+  static obs::Histogram& histogram =
+      obs::Registry::global().histogram("threadpool.task_ns");
+  return histogram;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -35,7 +53,11 @@ void ThreadPool::worker_main() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    job();
+    queue_depth_gauge().sub(1);
+    {
+      obs::ScopedTimer timer(task_latency_histogram());
+      job();
+    }
   }
 }
 
@@ -86,6 +108,9 @@ void ThreadPool::parallel_for(std::size_t count,
       static_cast<int>(std::min(workers_.size(), count - 1));
   loop->pending.store(helpers, std::memory_order_relaxed);
 
+  // Counted before enqueueing so a fast worker's sub() cannot observe the
+  // gauge below zero.
+  queue_depth_gauge().add(helpers);
   {
     std::lock_guard lock(mutex_);
     for (int i = 0; i < helpers; ++i) {
@@ -98,6 +123,7 @@ void ThreadPool::parallel_for(std::size_t count,
       });
     }
   }
+  queue_depth_gauge().add(helpers);
   cv_.notify_all();
 
   loop->run_chunks();  // the caller works too

@@ -6,9 +6,28 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
 
 namespace orp {
 namespace {
+
+// Per-variant call counters and wall-clock histograms: kAuto resolves to a
+// concrete kernel per call, so these make its choice (and each variant's
+// cost on this workload) auditable from the metrics snapshot.
+struct KernelInstruments {
+  obs::Counter& calls;
+  obs::Histogram& latency_ns;
+};
+
+KernelInstruments& kernel_instruments(bool use_bits) {
+  static KernelInstruments scalar{
+      obs::Registry::global().counter("aspl.kernel.scalar.calls"),
+      obs::Registry::global().histogram("aspl.kernel.scalar.ns")};
+  static KernelInstruments bitparallel{
+      obs::Registry::global().counter("aspl.kernel.bitparallel.calls"),
+      obs::Registry::global().histogram("aspl.kernel.bitparallel.ns")};
+  return use_bits ? bitparallel : scalar;
+}
 
 // Weighted APSP accumulation shared by both public entry points.
 //
@@ -146,6 +165,10 @@ ApspResult run_apsp(const ApspInput& in, AsplKernel kernel, ThreadPool* pool) {
   const bool use_bits =
       kernel == AsplKernel::kBitParallel ||
       (kernel == AsplKernel::kAuto && m >= 64 && in.sources.size() >= 64);
+
+  KernelInstruments& instruments = kernel_instruments(use_bits);
+  instruments.calls.inc();
+  obs::ScopedTimer timer(instruments.latency_ns);
 
   const std::size_t block_size = use_bits ? 64 : 256;
   const std::size_t blocks = (in.sources.size() + block_size - 1) / block_size;

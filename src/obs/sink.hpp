@@ -1,0 +1,89 @@
+#pragma once
+// Output selection for the observability layer.
+//
+// A sink is chosen from the ORP_OBS_OUT environment variable or the
+// --obs-out CLI option (CLI wins):
+//   "stderr"     — human-readable metrics summary table on stderr at flush
+//   "<path>.csv" — metrics snapshot as CSV (one row per instrument)
+//   "<path>"     — JSONL: streamed trace events + trailing metric records
+//   "" / unset   — no sink (instruments still count; summary on demand)
+//
+// configure() installs the sink (starting the trace writer for JSONL) and
+// registers an atexit flush so a crash-free run always lands its data.
+// This header stays the same with ORP_OBS_DISABLED: the calls become
+// cheap no-ops (the summary reports the layer as compiled out) so
+// examples/benches build identically in both modes.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace orp {
+
+class CliParser;
+class Table;
+
+namespace obs {
+
+enum class SinkKind { kNone, kStderrSummary, kCsv, kJsonl };
+
+struct SinkConfig {
+  SinkKind kind = SinkKind::kNone;
+  std::string path;  ///< output file for kCsv / kJsonl
+};
+
+/// Maps a spec string to a config: "" → none, "stderr" → summary,
+/// "*.csv" → CSV, anything else → JSONL at that path.
+SinkConfig parse_sink(std::string_view spec);
+
+/// Reads ORP_OBS_OUT (empty config when unset).
+SinkConfig sink_from_env();
+
+/// configure(sink_from_env()) when the variable is set; no-op otherwise.
+/// Invoked from a static initializer in metrics.cpp so every instrumented
+/// binary honors ORP_OBS_OUT without explicit wiring; apply_cli() may
+/// still reconfigure after argument parsing (CLI wins).
+bool install_env_sink();
+
+/// Installs `config` as the process sink. For JSONL this starts the
+/// background trace writer. Returns false if an output file could not be
+/// opened. Reconfiguring flushes the previous sink first.
+bool configure(const SinkConfig& config);
+
+/// Writes the metrics snapshot through the active sink (and, for JSONL,
+/// drains + closes the trace stream). Safe to call repeatedly; called
+/// automatically at exit once configure() has run.
+void flush();
+
+/// The currently active sink.
+const SinkConfig& active_sink();
+
+/// Renders a snapshot as a table (kind/name/value/count/mean/p50/p99/max)
+/// using the shared Table so the summary matches the bench output style.
+Table metrics_table(const MetricsSnapshot& snapshot);
+
+/// Prints the current registry contents as an aligned table.
+void print_summary(std::ostream& os);
+
+/// Serializes one snapshot record per line ({"kind":"counter",...});
+/// appended to JSONL traces and reused by tests.
+std::vector<std::string> snapshot_jsonl(const MetricsSnapshot& snapshot);
+
+/// Writes any Table through the CSV sink machinery (used by benches to
+/// emit series like SA convergence traces next to the metrics CSV).
+bool write_csv(const Table& table, const std::string& path);
+
+/// Registers --obs-out and --obs-summary on a parser.
+void add_cli_options(CliParser& cli);
+
+/// Applies --obs-out (falling back to ORP_OBS_OUT) after parse(). Returns
+/// false when the requested sink could not be opened.
+bool apply_cli(const CliParser& cli);
+
+/// True when --obs-summary was passed.
+bool cli_wants_summary(const CliParser& cli);
+
+}  // namespace obs
+}  // namespace orp

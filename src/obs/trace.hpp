@@ -1,0 +1,172 @@
+#pragma once
+// Scoped tracing: RAII Span objects emit begin/end events; a background
+// writer thread drains them to a JSONL file whose objects use Chrome
+// trace_event fields ("name", "cat", "ph", "ts" in microseconds, "pid",
+// "tid", "args"), so a run trace loads directly into chrome://tracing or
+// Perfetto. One JSON object per line; see docs/obs.md for the schema.
+//
+// When no sink is started, Span construction is one relaxed atomic load —
+// cheap enough to leave in simulator phase loops. When ORP_OBS_DISABLED is
+// defined, Span/Tracer become empty inline stubs and the calls vanish.
+
+#include <cstdint>
+
+#ifndef ORP_OBS_DISABLED
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace orp::obs {
+
+struct TraceEvent {
+  enum class Phase : char {
+    kBegin = 'B',    ///< span opened
+    kEnd = 'E',      ///< span closed (carries the span's args)
+    kCounter = 'C',  ///< time-series sample
+    kInstant = 'i',  ///< point event
+  };
+  std::string name;
+  std::string category;
+  Phase phase = Phase::kInstant;
+  std::uint64_t ts_ns = 0;  ///< nanoseconds since tracer start
+  std::uint32_t tid = 0;
+  /// Key → pre-encoded JSON value ("3", "0.5", "\"text\"", "[1,2]").
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Global event collector. start() opens the output file and launches the
+/// writer thread; stop() drains, joins, and closes. Emission between
+/// start/stop appends to a double-buffered queue under a short lock.
+class Tracer {
+ public:
+  static Tracer& global();
+
+  bool enabled() const noexcept { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Begins writing JSONL to `path`. Returns false if the file cannot be
+  /// opened (tracing stays disabled). Restartable after stop().
+  bool start(const std::string& path);
+  /// Flushes pending events, writes `trailer_lines` (already-serialized
+  /// JSON objects, e.g. the metrics snapshot), and closes the file.
+  void stop(const std::vector<std::string>& trailer_lines = {});
+
+  void emit(TraceEvent event);
+  /// Convenience "C" event: one sample of a named time series.
+  void counter(std::string_view name, double value, std::string_view category = "");
+
+  /// Nanoseconds since start() (0 when disabled); spans timestamp with this.
+  std::uint64_t now_ns() const noexcept;
+  /// Small dense id for the calling thread (stable per thread).
+  static std::uint32_t thread_id() noexcept;
+
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+ private:
+  Tracer() = default;
+  void writer_main();
+  void write_events(const std::vector<TraceEvent>& events);
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_{};
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<TraceEvent> buffer_;
+  bool stopping_ = false;
+  std::thread writer_;
+  void* file_ = nullptr;  // std::ofstream*, kept out of the header
+};
+
+/// RAII span: emits a begin event at construction and an end event (with
+/// any attached args) at destruction. Nesting is expressed by the B/E
+/// pairing per thread, exactly as Chrome's trace viewer expects.
+class Span {
+ public:
+  /// `name` and `category` must outlive the span (string literals).
+  explicit Span(const char* name, const char* category = "") noexcept
+      : name_(name), category_(category), active_(Tracer::global().enabled()) {
+    if (active_) emit_begin();
+  }
+  ~Span() {
+    if (active_) emit_end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a key/value to the span's end event. No-ops when inactive.
+  void arg(std::string_view key, double value);
+  void arg(std::string_view key, std::int64_t value);
+  void arg(std::string_view key, std::uint64_t value);
+  void arg(std::string_view key, std::string_view value);
+  /// Pre-encoded JSON value (arrays/objects), appended verbatim.
+  void arg_json(std::string_view key, std::string value);
+
+  bool active() const noexcept { return active_; }
+
+ private:
+  void emit_begin();
+  void emit_end();
+
+  const char* name_;
+  const char* category_;
+  bool active_;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+/// Escapes a string for embedding inside a JSON string literal (quotes not
+/// included). Exposed for the sink layer and tests.
+std::string json_escape(std::string_view text);
+
+}  // namespace orp::obs
+
+#else  // ORP_OBS_DISABLED
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace orp::obs {
+
+struct TraceEvent {
+  enum class Phase : char { kBegin = 'B', kEnd = 'E', kCounter = 'C', kInstant = 'i' };
+};
+
+class Tracer {
+ public:
+  static Tracer& global() {
+    static Tracer instance;
+    return instance;
+  }
+  bool enabled() const noexcept { return false; }
+  bool start(const std::string&) { return false; }
+  void stop(const std::vector<std::string>& = {}) {}
+  void counter(std::string_view, double, std::string_view = "") {}
+  std::uint64_t now_ns() const noexcept { return 0; }
+  static std::uint32_t thread_id() noexcept { return 0; }
+};
+
+class Span {
+ public:
+  explicit Span(const char*, const char* = "") noexcept {}
+  void arg(std::string_view, double) {}
+  void arg(std::string_view, std::int64_t) {}
+  void arg(std::string_view, std::uint64_t) {}
+  void arg(std::string_view, std::string_view) {}
+  void arg_json(std::string_view, std::string) {}
+  bool active() const noexcept { return false; }
+};
+
+inline std::string json_escape(std::string_view text) { return std::string(text); }
+
+}  // namespace orp::obs
+
+#endif  // ORP_OBS_DISABLED

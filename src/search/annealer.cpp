@@ -4,10 +4,36 @@
 #include <cmath>
 
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "search/operations.hpp"
 
 namespace orp {
 namespace {
+
+// Metric handles for the SA hot loop, resolved once per process. Counter
+// names record the §5.2 move machinery: a swing either lands, or its
+// completing swing lands (net effect: swap), or the solution is restored.
+struct AnnealerInstruments {
+  obs::Counter& swap_accepted;
+  obs::Counter& swing_accepted;
+  obs::Counter& completion_accepted;
+  obs::Counter& restored;
+  obs::Counter& rejected_disconnected;
+  obs::Histogram& eval_ns;
+
+  static AnnealerInstruments& get() {
+    auto& registry = obs::Registry::global();
+    static AnnealerInstruments instance{
+        registry.counter("annealer.swap.accepted"),
+        registry.counter("annealer.swing.accepted"),
+        registry.counter("annealer.completion.accepted"),
+        registry.counter("annealer.restored"),
+        registry.counter("annealer.rejected.disconnected"),
+        registry.histogram("annealer.eval_ns")};
+    return instance;
+  }
+};
 
 using EdgeList = std::vector<std::pair<SwitchId, SwitchId>>;
 
@@ -59,7 +85,14 @@ AnnealResult anneal(const HostSwitchGraph& initial, const AnnealOptions& options
   EdgeList edges = collect_edges(current);
   Xoshiro256 rng(options.seed);
 
+  AnnealerInstruments& instruments = AnnealerInstruments::get();
+  obs::Span span("search.anneal", "search");
+  span.arg("iterations", options.iterations);
+  span.arg("hosts", static_cast<std::uint64_t>(initial.num_hosts()));
+  span.arg("switches", static_cast<std::uint64_t>(initial.num_switches()));
+
   auto evaluate = [&](const HostSwitchGraph& g) {
+    obs::ScopedTimer timer(instruments.eval_ns);
     return compute_host_metrics(g, options.kernel, options.pool);
   };
 
@@ -132,7 +165,10 @@ AnnealResult anneal(const HostSwitchGraph& initial, const AnnealOptions& options
   // Metropolis test on the objective delta. Disconnected candidates have
   // infinite h-ASPL and are always rejected.
   auto accepts = [&](const HostMetrics& cand) {
-    if (!cand.connected) return false;
+    if (!cand.connected) {
+      instruments.rejected_disconnected.inc();
+      return false;
+    }
     const std::uint64_t cand_key = key_of(cand);
     const std::uint64_t current_key = key_of(current_metrics);
     if (cand_key <= current_key) return true;
@@ -150,11 +186,40 @@ AnnealResult anneal(const HostSwitchGraph& initial, const AnnealOptions& options
     }
   };
 
+  // Windowed telemetry: every `window` iterations emit one sample of the
+  // acceptance rate, temperature, and current/best h-ASPL as counter-series
+  // trace events (only when a JSONL sink is active; the check is one
+  // relaxed load per window).
+  const std::uint64_t window =
+      options.trace_every ? options.trace_every
+                          : std::max<std::uint64_t>(1, options.iterations / 64);
+  std::uint64_t window_moves = 0;
+  std::uint64_t window_accepted = 0;
+  auto emit_window = [&] {
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (!tracer.enabled()) return;
+    const double rate = window_moves
+                            ? static_cast<double>(window_accepted) /
+                                  static_cast<double>(window_moves)
+                            : 0.0;
+    tracer.counter("annealer.acceptance_rate", rate, "search");
+    tracer.counter("annealer.temperature", temperature, "search");
+    tracer.counter("annealer.current_haspl", current_metrics.h_aspl, "search");
+    tracer.counter("annealer.best_haspl", result.best_metrics.h_aspl, "search");
+  };
+
   for (std::uint64_t iter = 0; iter < options.iterations;
        ++iter, temperature *= cooling) {
     if (options.trace_every && iter % options.trace_every == 0) {
-      result.trace.push_back(current_metrics.h_aspl);
+      result.trace.push_back({iter, current_metrics.h_aspl,
+                              result.best_metrics.h_aspl, temperature});
     }
+    if (iter % window == 0) {
+      emit_window();
+      window_moves = 0;
+      window_accepted = 0;
+    }
+    ++window_moves;
 
     if (options.mode == MoveMode::kSwap) {
       const auto move = propose_swap(current, edges, rng);
@@ -165,8 +230,11 @@ AnnealResult anneal(const HostSwitchGraph& initial, const AnnealOptions& options
       if (accepts(cand)) {
         sync_swap(edges, *move);
         commit(cand);
+        instruments.swap_accepted.inc();
+        ++window_accepted;
       } else {
         apply_swap(current, move->inverse());
+        instruments.restored.inc();
       }
       continue;
     }
@@ -180,10 +248,13 @@ AnnealResult anneal(const HostSwitchGraph& initial, const AnnealOptions& options
     if (accepts(one_neighbor)) {
       sync_swing(edges, *first);
       commit(one_neighbor);
+      instruments.swing_accepted.inc();
+      ++window_accepted;
       continue;
     }
     if (options.mode == MoveMode::kSwing) {
       apply_swing(current, first->inverse());
+      instruments.restored.inc();
       continue;
     }
 
@@ -197,13 +268,20 @@ AnnealResult anneal(const HostSwitchGraph& initial, const AnnealOptions& options
         sync_swing(edges, *first);
         sync_swing(edges, *completion);
         commit(two_neighbor);
+        instruments.completion_accepted.inc();
+        ++window_accepted;
         continue;
       }
       apply_swing(current, completion->inverse());
     }
     apply_swing(current, first->inverse());
+    instruments.restored.inc();
   }
+  emit_window();
 
+  span.arg("evaluations", result.evaluations);
+  span.arg("accepted", result.accepted);
+  span.arg("best_haspl", result.best_metrics.h_aspl);
   return result;
 }
 

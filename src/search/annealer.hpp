@@ -44,16 +44,26 @@ struct AnnealOptions {
   MoveMode mode = MoveMode::kTwoNeighborSwing;
   AsplKernel kernel = AsplKernel::kAuto;
   ThreadPool* pool = nullptr;
-  /// If nonzero, record the current h-ASPL every `trace_every` iterations.
+  /// If nonzero, record a convergence sample every `trace_every` iterations.
   std::uint64_t trace_every = 0;
+};
+
+/// One convergence sample (recorded every `trace_every` iterations), enough
+/// to re-plot an SA run: where the walk is, the best seen so far, and the
+/// temperature that produced the acceptance behaviour.
+struct AnnealTracePoint {
+  std::uint64_t iteration = 0;
+  double current_haspl = 0.0;
+  double best_haspl = 0.0;
+  double temperature = 0.0;
 };
 
 struct AnnealResult {
   HostSwitchGraph best;
   HostMetrics best_metrics;
-  std::uint64_t evaluations = 0;  ///< metric evaluations performed
-  std::uint64_t accepted = 0;     ///< accepted moves
-  std::vector<double> trace;      ///< h-ASPL samples (if trace_every > 0)
+  std::uint64_t evaluations = 0;        ///< metric evaluations performed
+  std::uint64_t accepted = 0;           ///< accepted moves
+  std::vector<AnnealTracePoint> trace;  ///< samples (if trace_every > 0)
 };
 
 /// Runs SA from `initial` (which must be fully attached and connected) and

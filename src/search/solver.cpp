@@ -1,6 +1,7 @@
 #include "search/solver.hpp"
 
 #include "hsg/bounds.hpp"
+#include "obs/trace.hpp"
 #include "search/clique.hpp"
 #include "common/thread_pool.hpp"
 #include "search/random_init.hpp"
@@ -11,19 +12,36 @@ SolveResult solve_orp(std::uint32_t n, std::uint32_t r, const SolveOptions& opti
   ORP_REQUIRE(n >= 2, "need at least two hosts");
   ORP_REQUIRE(r >= 3, "radix must be at least 3");
 
-  const std::uint32_t m_opt = optimal_switch_count(n, r);
+  obs::Span solve_span("solver.solve_orp", "search");
+  solve_span.arg("n", static_cast<std::uint64_t>(n));
+  solve_span.arg("r", static_cast<std::uint64_t>(r));
 
   // Clique shortcut: provably optimal, no search needed (Appendix Thm. 3).
-  if (!options.force_switch_count && clique_feasible(n, r)) {
-    SolveResult result{build_clique_graph(n, r), {}};
-    result.metrics = compute_host_metrics(result.graph, options.kernel, options.pool);
-    result.switch_count = result.graph.num_switches();
-    result.predicted_m_opt = m_opt;
-    result.haspl_lower_bound = haspl_lower_bound(n, r);
-    result.continuous_moore_bound =
-        continuous_haspl_moore_bound(n, result.switch_count, r);
-    result.used_clique = true;
-    return result;
+  {
+    obs::Span phase_span("solver.clique_check", "search");
+    if (!options.force_switch_count && clique_feasible(n, r)) {
+      HostSwitchGraph graph = build_clique_graph(n, r);
+      HostMetrics metrics = compute_host_metrics(graph, options.kernel, options.pool);
+      const std::uint32_t m_clique = graph.num_switches();
+      SolveResult result{.graph = std::move(graph),
+                         .metrics = std::move(metrics),
+                         .switch_count = m_clique,
+                         .predicted_m_opt = optimal_switch_count(n, r),
+                         .haspl_lower_bound = haspl_lower_bound(n, r),
+                         .continuous_moore_bound =
+                             continuous_haspl_moore_bound(n, m_clique, r),
+                         .used_clique = true,
+                         .sa_trace = {}};
+      solve_span.arg("method", "clique");
+      return result;
+    }
+  }
+
+  std::uint32_t m_opt = 0;
+  {
+    obs::Span phase_span("solver.predict_m_opt", "search");
+    m_opt = optimal_switch_count(n, r);
+    phase_span.arg("m_opt", static_cast<std::uint64_t>(m_opt));
   }
 
   const std::uint32_t m = options.force_switch_count.value_or(m_opt);
@@ -44,6 +62,8 @@ SolveResult solve_orp(std::uint32_t n, std::uint32_t r, const SolveOptions& opti
   std::vector<std::optional<AnnealResult>> results(
       static_cast<std::size_t>(restarts));
   auto run_one = [&](std::size_t run) {
+    obs::Span restart_span("solver.sa_restart", "search");
+    restart_span.arg("restart", static_cast<std::uint64_t>(run));
     Xoshiro256 rng = streams[run];
     const HostSwitchGraph initial =
         options.regular_start
@@ -55,12 +75,19 @@ SolveResult solve_orp(std::uint32_t n, std::uint32_t r, const SolveOptions& opti
     anneal_options.mode = options.mode;
     anneal_options.kernel = options.kernel;
     anneal_options.pool = (options.pool && restarts > 1) ? nullptr : options.pool;
+    anneal_options.trace_every = options.trace_every;
     results[run] = anneal(initial, anneal_options);
+    restart_span.arg("haspl", results[run]->best_metrics.h_aspl);
   };
-  if (options.pool && restarts > 1) {
-    options.pool->parallel_for(static_cast<std::size_t>(restarts), run_one);
-  } else {
-    for (int run = 0; run < restarts; ++run) run_one(static_cast<std::size_t>(run));
+  {
+    obs::Span phase_span("solver.sa_restarts", "search");
+    phase_span.arg("restarts", static_cast<std::int64_t>(restarts));
+    phase_span.arg("iterations", options.iterations);
+    if (options.pool && restarts > 1) {
+      options.pool->parallel_for(static_cast<std::size_t>(restarts), run_one);
+    } else {
+      for (int run = 0; run < restarts; ++run) run_one(static_cast<std::size_t>(run));
+    }
   }
 
   std::optional<AnnealResult> best;
@@ -71,11 +98,16 @@ SolveResult solve_orp(std::uint32_t n, std::uint32_t r, const SolveOptions& opti
     }
   }
 
-  SolveResult result{std::move(best->best), best->best_metrics};
-  result.switch_count = m;
-  result.predicted_m_opt = m_opt;
-  result.haspl_lower_bound = haspl_lower_bound(n, r);
-  result.continuous_moore_bound = continuous_haspl_moore_bound(n, m, r);
+  SolveResult result{.graph = std::move(best->best),
+                     .metrics = best->best_metrics,
+                     .switch_count = m,
+                     .predicted_m_opt = m_opt,
+                     .haspl_lower_bound = haspl_lower_bound(n, r),
+                     .continuous_moore_bound = continuous_haspl_moore_bound(n, m, r),
+                     .used_clique = false,
+                     .sa_trace = std::move(best->trace)};
+  solve_span.arg("method", "sa");
+  solve_span.arg("haspl", result.metrics.h_aspl);
   return result;
 }
 

@@ -33,6 +33,10 @@ struct SolveOptions {
   /// Use the regular initializer (balanced hosts; needed for kSwap mode
   /// which cannot change the host distribution).
   bool regular_start = false;
+  /// If nonzero, each SA restart records a convergence sample every
+  /// `trace_every` iterations; the winning restart's samples are returned
+  /// in SolveResult::sa_trace.
+  std::uint64_t trace_every = 0;
 };
 
 struct SolveResult {
@@ -43,6 +47,8 @@ struct SolveResult {
   double haspl_lower_bound = 0.0;       ///< Theorem 2
   double continuous_moore_bound = 0.0;  ///< at the returned m
   bool used_clique = false;             ///< solved by construction, no SA
+  /// Convergence samples of the best restart (when trace_every > 0).
+  std::vector<AnnealTracePoint> sa_trace;
 };
 
 /// Solves ORP(n, r). Throws std::invalid_argument on infeasible inputs

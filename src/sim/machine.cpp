@@ -4,10 +4,30 @@
 #include <bit>
 #include <limits>
 #include <numeric>
+#include <string>
 
 #include "common/require.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace orp {
+namespace {
+
+struct SimInstruments {
+  obs::Counter& phases;
+  obs::Counter& flows;
+  obs::Histogram& solve_ns;
+
+  static SimInstruments& get() {
+    auto& registry = obs::Registry::global();
+    static SimInstruments instance{registry.counter("sim.phases"),
+                                   registry.counter("sim.flows"),
+                                   registry.histogram("sim.phase.solve_ns")};
+    return instance;
+  }
+};
+
+}  // namespace
 
 Machine::Machine(const HostSwitchGraph& graph, const SimParams& params,
                  std::vector<HostId> rank_to_host)
@@ -44,6 +64,10 @@ double Machine::compute(double flops_per_rank) {
 
 double Machine::phase(const std::vector<Message>& messages) {
   if (messages.empty()) return 0.0;
+
+  SimInstruments& instruments = SimInstruments::get();
+  obs::Span span("sim.phase", "sim");
+  obs::ScopedTimer solve_timer(instruments.solve_ns);
 
   // Build flow paths (self-messages are memcpy, modeled as free).
   ++phase_counter_;
@@ -121,7 +145,8 @@ double Machine::phase(const std::vector<Message>& messages) {
   }
 
   // Phase statistics: per-link bytes moved vs what the busiest link could
-  // have moved during the transfer window, and route-length average.
+  // have moved during the transfer window, route-length average, and the
+  // most congested links of the phase.
   stats_ = PhaseStats{};
   stats_.elapsed = elapsed;
   stats_.flows = num_flows;
@@ -134,11 +159,53 @@ double Machine::phase(const std::vector<Message>& messages) {
         peak = std::max(peak, link_bytes_[l]);
       }
     }
-    stats_.max_link_utilization = peak / (params_.link_bandwidth * t);
+    const double capacity = params_.link_bandwidth * t;
+    stats_.max_link_utilization = peak / capacity;
+    double used_bytes = 0.0;
+    std::size_t used_links = 0;
+    for (std::size_t l = 0; l < link_bytes_.size(); ++l) {
+      const double bytes_on_link = link_bytes_[l];
+      if (bytes_on_link <= 0.0) continue;
+      used_bytes += bytes_on_link;
+      ++used_links;
+      // Keep the kTopLinks busiest links, most loaded first.
+      const double util = bytes_on_link / capacity;
+      auto& top = stats_.top_links;
+      auto pos = std::find_if(top.begin(), top.end(),
+                              [&](const PhaseStats::LinkLoad& entry) {
+                                return util > entry.utilization;
+                              });
+      if (pos != top.end() || top.size() < PhaseStats::kTopLinks) {
+        top.insert(pos, {static_cast<LinkId>(l), util});
+        if (top.size() > PhaseStats::kTopLinks) top.pop_back();
+      }
+    }
+    if (used_links > 0) {
+      stats_.mean_link_utilization =
+          used_bytes / (static_cast<double>(used_links) * capacity);
+    }
   }
   double hop_sum = 0.0;
   for (const std::uint32_t h : hops) hop_sum += h;
   stats_.mean_hops = hop_sum / static_cast<double>(num_flows);
+
+  instruments.phases.inc();
+  instruments.flows.add(num_flows);
+  if (span.active()) {
+    span.arg("flows", static_cast<std::uint64_t>(num_flows));
+    span.arg("sim_elapsed_s", elapsed);
+    span.arg("max_link_util", stats_.max_link_utilization);
+    span.arg("mean_link_util", stats_.mean_link_utilization);
+    span.arg("mean_hops", stats_.mean_hops);
+    std::string top = "[";
+    for (std::size_t i = 0; i < stats_.top_links.size(); ++i) {
+      if (i) top += ',';
+      top += '[' + std::to_string(stats_.top_links[i].link) + ',' +
+             std::to_string(stats_.top_links[i].utilization) + ']';
+    }
+    top += ']';
+    span.arg_json("top_links", std::move(top));
+  }
 
   clock_ += elapsed;
   return elapsed;

@@ -90,8 +90,18 @@ class Machine {
   struct PhaseStats {
     double elapsed = 0.0;          ///< seconds, same value phase() returned
     double max_link_utilization = 0.0;  ///< busiest link's busy fraction
+    /// Mean busy fraction over the links that carried traffic this phase.
+    double mean_link_utilization = 0.0;
     double mean_hops = 0.0;        ///< average route length of the flows
     std::uint64_t flows = 0;
+    /// The busiest links of the phase, most loaded first (at most
+    /// kTopLinks entries; fewer when the phase used fewer links).
+    struct LinkLoad {
+      LinkId link = 0;
+      double utilization = 0.0;
+    };
+    static constexpr std::size_t kTopLinks = 4;
+    std::vector<LinkLoad> top_links;
   };
   const PhaseStats& last_phase_stats() const noexcept { return stats_; }
 

@@ -1,0 +1,62 @@
+// Compile test: with ORP_OBS_DISABLED the observability types must be
+// empty inline stubs, so instrumented hot loops carry zero state and the
+// optimizer deletes them. This binary is compiled with the macro defined
+// (see tests/CMakeLists.txt) and does NOT link orp_obs — everything must
+// resolve header-only.
+
+#ifndef ORP_OBS_DISABLED
+#error "this test must be compiled with ORP_OBS_DISABLED"
+#endif
+
+#include <cstdio>
+#include <type_traits>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace orp::obs {
+
+// Span and ScopedTimer are placed on the stack of every instrumented scope;
+// disabled they must hold no members at all.
+static_assert(std::is_empty_v<Span>, "disabled Span must be zero-size");
+static_assert(std::is_empty_v<ScopedTimer>,
+              "disabled ScopedTimer must be zero-size");
+static_assert(std::is_empty_v<Counter>, "disabled Counter must be zero-size");
+static_assert(std::is_empty_v<Gauge>, "disabled Gauge must be zero-size");
+static_assert(std::is_empty_v<Histogram>,
+              "disabled Histogram must be zero-size");
+
+}  // namespace orp::obs
+
+int main() {
+  using namespace orp::obs;
+
+  // Exercise the full stub surface: all calls must compile and do nothing.
+  Counter& counter = Registry::global().counter("disabled.counter");
+  counter.add(5);
+  counter.inc();
+  if (counter.value() != 0) return 1;
+
+  Gauge& gauge = Registry::global().gauge("disabled.gauge");
+  gauge.set(3);
+  gauge.add(2);
+  gauge.sub(1);
+  if (gauge.value() != 0 || gauge.max() != 0) return 1;
+
+  Histogram& histogram = Registry::global().histogram("disabled.histogram");
+  histogram.record(42);
+  { ScopedTimer timer(histogram); }
+  if (histogram.sample().count != 0) return 1;
+
+  {
+    Span span("disabled.span", "test");
+    span.arg("x", 1.0);
+    span.arg("n", static_cast<std::uint64_t>(7));
+    if (span.active()) return 1;
+  }
+
+  if (!Registry::global().snapshot().empty()) return 1;
+
+  std::puts("ORP_OBS_DISABLED stubs OK");
+  return 0;
+}

@@ -94,7 +94,19 @@ TEST(Annealer, TraceRecordsSamples) {
   options.trace_every = 100;
   const auto result = anneal(initial, options);
   EXPECT_EQ(result.trace.size(), 10u);
-  for (double sample : result.trace) EXPECT_GT(sample, 2.0);
+  for (std::size_t i = 0; i < result.trace.size(); ++i) {
+    const AnnealTracePoint& sample = result.trace[i];
+    EXPECT_EQ(sample.iteration, i * 100);
+    EXPECT_GT(sample.current_haspl, 2.0);
+    EXPECT_GT(sample.best_haspl, 2.0);
+    // The best seen so far can never trail the current solution.
+    EXPECT_LE(sample.best_haspl, sample.current_haspl);
+    EXPECT_GT(sample.temperature, 0.0);
+    // Geometric cooling: temperatures are non-increasing along the trace.
+    if (i > 0) {
+      EXPECT_LE(sample.temperature, result.trace[i - 1].temperature);
+    }
+  }
 }
 
 TEST(Annealer, RejectsDisconnectedInitial) {
