@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   cli.option("n", "256", "hosts (square power of two)");
   cli.option("radix", "12", "ports per switch");
   cli.option("iters", "0", "SA iterations (0 = ORP_SA_ITERS or 1500)");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!parse_cli_with_obs(cli, argc, argv)) return 0;
   const auto n = static_cast<std::uint32_t>(cli.get_int("n"));
   const auto r = static_cast<std::uint32_t>(cli.get_int("radix"));
   std::uint64_t iterations = static_cast<std::uint64_t>(cli.get_int("iters"));
@@ -57,5 +57,6 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "expected: mapping shifts neighbor-heavy kernels (MG/CG); "
                "all-to-all (FT) is mapping-insensitive\n";
+  finish_obs(cli);
   return 0;
 }

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   cli.option("hosts", "256", "hosts");
   cli.option("iters", "0", "SA iterations (0 = ORP_SA_ITERS or 1500)");
   cli.option("roots", "8", "spanning-tree roots sampled for up*/down*");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!parse_cli_with_obs(cli, argc, argv)) return 0;
   const auto n = static_cast<std::uint32_t>(cli.get_int("hosts"));
   const auto roots = static_cast<std::uint32_t>(cli.get_int("roots"));
   std::uint64_t iterations = static_cast<std::uint64_t>(cli.get_int("iters"));
@@ -83,5 +83,6 @@ int main(int argc, char** argv) {
   emit_table(table, "abl_deadlock_free");
   std::cout << "up*/down* is deadlock-free by construction; inflation is the\n"
                "latency price irregular topologies pay without virtual channels\n";
+  finish_obs(cli);
   return 0;
 }

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   CliParser cli("abl_fluid_vs_packet", "fluid engine vs packet-level simulation");
   cli.option("hosts", "64", "hosts (square power of two)");
   cli.option("iters", "0", "SA iterations for the proposed topology (0 = ORP_SA_ITERS or 1000)");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!parse_cli_with_obs(cli, argc, argv)) return 0;
   const auto n = static_cast<std::uint32_t>(cli.get_int("hosts"));
   std::uint64_t iterations = static_cast<std::uint64_t>(cli.get_int("iters"));
   if (iterations == 0) iterations = sa_iters(1000);
@@ -65,5 +65,6 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "expected: ratios near 1.0 for 4 MB messages (validates the fluid\n"
                "model); small-message ratios drift as serialization bites\n";
+  finish_obs(cli);
   return 0;
 }

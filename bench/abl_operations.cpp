@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   cli.option("m", "64", "switches (must divide n so swap mode is defined)");
   cli.option("seeds", "3", "independent repetitions");
   cli.option("iters", "0", "SA iterations (0 = ORP_SA_ITERS or 1500)");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!parse_cli_with_obs(cli, argc, argv)) return 0;
 
   const auto n = static_cast<std::uint32_t>(cli.get_int("n"));
   const auto r = static_cast<std::uint32_t>(cli.get_int("radix"));
@@ -60,5 +60,6 @@ int main(int argc, char** argv) {
          "suffices); the swing family's advantage is structural — it reaches\n"
          "non-regular graphs, which swap cannot, and only it works at the\n"
          "non-divisor m_opt values Fig. 5/6 need\n";
+  finish_obs(cli);
   return 0;
 }

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   cli.option("hosts", "1024", "hosts");
   cli.option("sa-iters", "0", "topology SA iterations (0 = ORP_SA_ITERS or 2000)");
   cli.option("placement-iters", "30000", "placement SA iterations");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!parse_cli_with_obs(cli, argc, argv)) return 0;
   const auto n = static_cast<std::uint32_t>(cli.get_int("hosts"));
   std::uint64_t sa_iterations = static_cast<std::uint64_t>(cli.get_int("sa-iters"));
   if (sa_iterations == 0) sa_iterations = sa_iters(2000);
@@ -55,5 +55,6 @@ int main(int argc, char** argv) {
         .add(after.optical_cables);
   }
   table.print(std::cout);
+  finish_obs(cli);
   return 0;
 }

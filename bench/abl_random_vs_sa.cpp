@@ -8,7 +8,6 @@
 
 #include "bench_util.hpp"
 #include "hsg/bounds.hpp"
-#include "obs/sink.hpp"
 #include "search/random_init.hpp"
 
 int main(int argc, char** argv) {
@@ -22,9 +21,7 @@ int main(int argc, char** argv) {
   cli.option("trace-csv", "",
              "write the SA convergence curves (iteration, h-ASPL, temperature) "
              "to this CSV file");
-  obs::add_cli_options(cli);
-  if (!cli.parse(argc, argv)) return 0;
-  obs::apply_cli(cli);
+  if (!parse_cli_with_obs(cli, argc, argv)) return 0;
   const int trials = static_cast<int>(cli.get_int("random-trials"));
   std::uint64_t iterations = static_cast<std::uint64_t>(cli.get_int("iters"));
   if (iterations == 0) iterations = sa_iters(2000);
@@ -77,6 +74,6 @@ int main(int argc, char** argv) {
     std::cout << "wrote " << trace_table.rows() << " convergence samples to "
               << trace_csv << "\n";
   }
-  obs::flush();
+  finish_obs(cli);
   return 0;
 }

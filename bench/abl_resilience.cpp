@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   cli.option("hosts", "256", "hosts");
   cli.option("trials", "30", "Monte-Carlo trials per rate");
   cli.option("iters", "0", "SA iterations (0 = ORP_SA_ITERS or 1500)");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!parse_cli_with_obs(cli, argc, argv)) return 0;
   const auto n = static_cast<std::uint32_t>(cli.get_int("hosts"));
   const int trials = static_cast<int>(cli.get_int("trials"));
   std::uint64_t iterations = static_cast<std::uint64_t>(cli.get_int("iters"));
@@ -69,5 +69,6 @@ int main(int argc, char** argv) {
     }
   }
   emit_table(table, "abl_resilience");
+  finish_obs(cli);
   return 0;
 }

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   cli.option("hosts", "256", "hosts (square power of two)");
   cli.option("bytes", "4000000", "message size per rank");
   cli.option("iters", "0", "SA iterations (0 = ORP_SA_ITERS or 1500)");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!parse_cli_with_obs(cli, argc, argv)) return 0;
   const auto n = static_cast<std::uint32_t>(cli.get_int("hosts"));
   const auto bytes = static_cast<std::uint64_t>(cli.get_int("bytes"));
   std::uint64_t iterations = static_cast<std::uint64_t>(cli.get_int("iters"));
@@ -72,5 +72,6 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+  finish_obs(cli);
   return 0;
 }

@@ -9,11 +9,13 @@
 //   ORP_BENCH_SEED  — root seed (default 1)
 
 #include <cstdint>
+#include <filesystem>
 #include <iostream>
 #include <string>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "obs/sink.hpp"
 #include "search/solver.hpp"
 #include "sim/nas.hpp"
 #include "topo/attach.hpp"
@@ -55,11 +57,32 @@ inline void print_header(const std::string& title) {
   std::cout << "\n==== " << title << " ====\n";
 }
 
+/// Registers the shared telemetry options (--obs-out / --obs-summary) and
+/// parses argv, then installs the requested sink. Every fig/abl binary
+/// funnels through this so the options exist uniformly. Returns false on
+/// --help (caller exits 0); throws std::invalid_argument like cli.parse.
+inline bool parse_cli_with_obs(CliParser& cli, int argc, const char* const* argv) {
+  obs::add_cli_options(cli);
+  if (!cli.parse(argc, argv)) return false;
+  obs::apply_cli(cli);
+  return true;
+}
+
+/// End-of-run counterpart: prints the metrics table when --obs-summary was
+/// passed, then flushes the active sink (closing JSONL traces).
+inline void finish_obs(const CliParser& cli) {
+  if (obs::cli_wants_summary(cli)) obs::print_summary(std::cout);
+  obs::flush();
+}
+
 /// Prints the table and, when ORP_CSV_DIR is set, also writes it to
-/// "$ORP_CSV_DIR/<name>.csv" so the figure series can be re-plotted.
+/// "$ORP_CSV_DIR/<name>.csv" so the figure series can be re-plotted. The
+/// directory is created (mkdir -p) when missing.
 inline void emit_table(const Table& table, const std::string& name) {
   table.print(std::cout);
   if (const char* dir = std::getenv("ORP_CSV_DIR"); dir && *dir) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);  // write_csv_file reports failure
     const std::string path = std::string(dir) + "/" + name + ".csv";
     if (!table.write_csv_file(path)) {
       std::cerr << "warning: could not write " << path << "\n";

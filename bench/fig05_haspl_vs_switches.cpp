@@ -104,7 +104,7 @@ int main(int argc, char** argv) {
   CliParser cli("fig05_haspl_vs_switches", "Fig. 5: h-ASPL vs number of switches");
   cli.flag("all", "run the full 4x2 (n, r) grid instead of the typical panels");
   cli.option("iters", "0", "SA iterations per point (0 = ORP_SA_ITERS or 800)");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!orp::bench::parse_cli_with_obs(cli, argc, argv)) return 0;
 
   std::uint64_t iterations = static_cast<std::uint64_t>(cli.get_int("iters"));
   if (iterations == 0) iterations = orp::bench::sa_iters(800);
@@ -118,5 +118,6 @@ int main(int argc, char** argv) {
     panels = {{128, 24}, {256, 12}, {1024, 12}, {1024, 24}};
   }
   for (const auto& [n, r] : panels) run_panel(n, r, iterations);
+  orp::bench::finish_obs(cli);
   return 0;
 }

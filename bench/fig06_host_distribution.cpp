@@ -47,12 +47,13 @@ void run_panel(std::uint32_t n, std::uint32_t r, std::uint64_t iterations) {
 int main(int argc, char** argv) {
   CliParser cli("fig06_host_distribution", "Fig. 6: host distribution at m_opt");
   cli.option("iters", "0", "SA iterations (0 = ORP_SA_ITERS or 2500)");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!parse_cli_with_obs(cli, argc, argv)) return 0;
   std::uint64_t iterations = static_cast<std::uint64_t>(cli.get_int("iters"));
   if (iterations == 0) iterations = sa_iters(2500);
 
   run_panel(128, 24, iterations);
   run_panel(1024, 12, iterations);
   run_panel(1024, 24, iterations);
+  finish_obs(cli);
   return 0;
 }

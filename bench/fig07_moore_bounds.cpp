@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   CliParser cli("fig07_moore_bounds", "Fig. 7: Moore vs continuous Moore bound");
   cli.option("n", "1024", "number of hosts");
   cli.option("radix", "24", "ports per switch");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!parse_cli_with_obs(cli, argc, argv)) return 0;
   const auto n = static_cast<std::uint32_t>(cli.get_int("n"));
   const auto r = static_cast<std::uint32_t>(cli.get_int("radix"));
 
@@ -56,5 +56,6 @@ int main(int argc, char** argv) {
   emit_table(table, "fig07_sweep");
   std::cout << "\nInteger points (Eq. 2 defined; continuous bound must agree):\n";
   emit_table(divisors, "fig07_divisors");
+  finish_obs(cli);
   return 0;
 }

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   CliParser cli("fig08_unused_switches",
                 "Fig. 8: host distribution with unused switches (n=m=1024, r=24)");
   cli.option("iters", "0", "SA iterations (0 = ORP_SA_ITERS or 20000)");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!parse_cli_with_obs(cli, argc, argv)) return 0;
   std::uint64_t iterations = static_cast<std::uint64_t>(cli.get_int("iters"));
   if (iterations == 0) iterations = sa_iters(20000);
 
@@ -47,5 +47,6 @@ int main(int argc, char** argv) {
   std::cout << "switches with no hosts: " << dist[0] << " ("
             << format_double(100.0 * dist[0] / m, 1)
             << "% — paper reports over 70%)\n";
+  finish_obs(cli);
   return 0;
 }

@@ -4,12 +4,16 @@
 // bandwidth, lower power up to 1215 connectable hosts, total cost within
 // ~3% (cable cost up ~45%, switch cost down ~5%).
 
+#include "bench_util.hpp"
 #include "compare_common.hpp"
 #include "topo/torus.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace orp;
   using namespace orp::bench;
+
+  CliParser cli("fig09_vs_torus", "Fig. 9: proposed topology vs 5-D torus");
+  if (!parse_cli_with_obs(cli, argc, argv)) return 0;
 
   const TorusParams params{5, 3, 15};
   ComparisonConfig config;
@@ -28,5 +32,6 @@ int main() {
     return hosts <= capacity ? capacity : 0;
   };
   run_comparison(config);
+  finish_obs(cli);
   return 0;
 }

@@ -3,6 +3,7 @@
 // performance by ~12% on average, +24% bisection bandwidth, and lower
 // power and cost at every scale (the dragonfly's radix grows with size).
 
+#include "bench_util.hpp"
 #include "compare_common.hpp"
 #include "topo/dragonfly.hpp"
 
@@ -17,9 +18,12 @@ orp::DragonflyParams smallest_dragonfly(std::uint32_t hosts) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace orp;
   using namespace orp::bench;
+
+  CliParser cli("fig10_vs_dragonfly", "Fig. 10: proposed topology vs dragonfly");
+  if (!parse_cli_with_obs(cli, argc, argv)) return 0;
 
   ComparisonConfig config;
   config.figure = "Fig. 10";
@@ -35,5 +39,6 @@ int main() {
     return dragonfly_host_capacity(smallest_dragonfly(hosts));
   };
   run_comparison(config);
+  finish_obs(cli);
   return 0;
 }

@@ -6,6 +6,7 @@
 // are omitted in the paper's figure (simulation cost) — we mark them the
 // same way.
 
+#include "bench_util.hpp"
 #include "compare_common.hpp"
 #include "topo/fattree.hpp"
 
@@ -20,9 +21,12 @@ orp::FatTreeParams smallest_fattree(std::uint32_t hosts) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace orp;
   using namespace orp::bench;
+
+  CliParser cli("fig11_vs_fattree", "Fig. 11: proposed topology vs fat-tree");
+  if (!parse_cli_with_obs(cli, argc, argv)) return 0;
 
   ComparisonConfig config;
   config.figure = "Fig. 11";
@@ -38,5 +42,6 @@ int main() {
   };
   config.skipped_kernels = {NasKernel::kIS, NasKernel::kFT};
   run_comparison(config);
+  finish_obs(cli);
   return 0;
 }

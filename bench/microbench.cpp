@@ -1,0 +1,313 @@
+// Microbenchmarks over the repo's hot paths, emitting the canonical
+// BENCH_microbench.json perf trajectory (schema: docs/bench.md).
+//
+// Families:
+//   aspl       — h-ASPL kernels, scalar BFS vs bit-parallel 64-source
+//   annealer   — full SA move + evaluate + accept/rollback cycles per
+//                neighborhood mode (ns/op covers a fixed 64-iteration run)
+//   sim        — Machine fluid-engine communication phases (collectives)
+//   partition  — multilevel partitioner stages: coarsening, FM refinement,
+//                and the end-to-end k-way host+switch cut
+//
+// `--quick` runs the CI-gated subset (small sizes, fewer repetitions);
+// the full suite adds larger instances for local optimization work.
+// Compare two runs with tools/bench_diff.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string_view>
+
+#include "bench_util.hpp"
+#include "hsg/bounds.hpp"
+#include "obs/bench/microbench.hpp"
+#include "partition/coarsen.hpp"
+#include "partition/fm.hpp"
+#include "partition/partition.hpp"
+#include "search/annealer.hpp"
+#include "search/random_init.hpp"
+
+namespace {
+
+using namespace orp;
+using namespace orp::obs::bench;
+
+constexpr std::uint64_t kSetupSeed = 42;
+
+/// Deterministic graph shared by setups: random connected host-switch
+/// graph at the paper's m_opt for (n, r).
+HostSwitchGraph setup_graph(std::uint32_t n, std::uint32_t r) {
+  Xoshiro256 rng(kSetupSeed);
+  return random_host_switch_graph(n, optimal_switch_count(n, r), r, rng);
+}
+
+/// The feasible divisor of n closest to m_opt — regular graphs (the swap
+/// benchmark's search space) need every switch to carry exactly n/m hosts.
+std::uint32_t regular_switch_count(std::uint32_t n, std::uint32_t r) {
+  const std::uint32_t m_opt = optimal_switch_count(n, r);
+  std::uint32_t best = 0;
+  for (std::uint32_t m = 1; m <= n; ++m) {
+    if (n % m != 0 || !random_init_feasible(n, m, r)) continue;
+    if (best == 0 || std::abs(static_cast<std::int64_t>(m) - m_opt) <
+                         std::abs(static_cast<std::int64_t>(best) - m_opt)) {
+      best = m;
+    }
+  }
+  return best;
+}
+
+void register_aspl(BenchRegistry& registry) {
+  struct Config {
+    std::uint32_t n, r;
+    AsplKernel kernel;
+    const char* variant;
+    bool quick;
+  };
+  for (const Config& c : {
+           Config{256, 12, AsplKernel::kScalarBfs, "scalar_bfs", true},
+           Config{256, 12, AsplKernel::kBitParallel, "bit_parallel", true},
+           Config{1024, 24, AsplKernel::kScalarBfs, "scalar_bfs", false},
+           Config{1024, 24, AsplKernel::kBitParallel, "bit_parallel", false},
+       }) {
+    registry.add({
+        "aspl." + std::string(c.variant) + ".n" + std::to_string(c.n) + "_r" +
+            std::to_string(c.r),
+        "aspl",
+        [c]() -> BenchOp {
+          auto graph = std::make_shared<HostSwitchGraph>(setup_graph(c.n, c.r));
+          return [graph, kernel = c.kernel] {
+            const HostMetrics m = compute_host_metrics(*graph, kernel);
+            do_not_optimize(m.total_length);
+          };
+        },
+        c.quick,
+    });
+  }
+}
+
+void register_annealer(BenchRegistry& registry) {
+  // Each op is one anneal() call with a fixed 64-iteration budget and
+  // pinned temperatures (auto-calibration off), i.e. 64 move + incremental
+  // evaluation + accept/rollback cycles plus one initial evaluation.
+  constexpr std::uint64_t kIters = 64;
+  struct Config {
+    std::uint32_t n, r;
+    MoveMode mode;
+    const char* variant;
+    bool quick;
+  };
+  for (const Config& c : {
+           Config{128, 12, MoveMode::kSwap, "swap", true},
+           Config{128, 12, MoveMode::kSwing, "swing", true},
+           Config{128, 12, MoveMode::kTwoNeighborSwing, "two_neighbor_swing", true},
+           Config{512, 12, MoveMode::kTwoNeighborSwing, "two_neighbor_swing", false},
+       }) {
+    registry.add({
+        "annealer." + std::string(c.variant) + ".n" + std::to_string(c.n) +
+            "_r" + std::to_string(c.r) + "_it" + std::to_string(kIters),
+        "annealer",
+        [c]() -> BenchOp {
+          // Swap explores regular graphs only; start it from one.
+          Xoshiro256 rng(kSetupSeed);
+          auto graph = std::make_shared<HostSwitchGraph>(
+              c.mode == MoveMode::kSwap
+                  ? random_regular_host_switch_graph(
+                        c.n, regular_switch_count(c.n, c.r), c.r, rng)
+                  : random_host_switch_graph(
+                        c.n, optimal_switch_count(c.n, c.r), c.r, rng));
+          return [graph, mode = c.mode] {
+            AnnealOptions options;
+            options.iterations = kIters;
+            options.mode = mode;
+            options.seed = kSetupSeed;
+            options.initial_temperature = 0.05;
+            options.final_temperature = 0.005;
+            const AnnealResult result = anneal(*graph, options);
+            do_not_optimize(result.evaluations);
+          };
+        },
+        c.quick,
+    });
+  }
+}
+
+void register_sim(BenchRegistry& registry) {
+  struct Config {
+    std::uint32_t n, r;
+    const char* collective;
+    bool quick;
+  };
+  for (const Config& c : {
+           Config{64, 12, "alltoall", true},
+           Config{64, 12, "allreduce", true},
+           Config{256, 12, "allreduce", false},
+           Config{256, 12, "alltoall", false},
+       }) {
+    registry.add({
+        "sim." + std::string(c.collective) + ".n" + std::to_string(c.n) + "_r" +
+            std::to_string(c.r),
+        "sim",
+        [c]() -> BenchOp {
+          auto graph = std::make_shared<HostSwitchGraph>(setup_graph(c.n, c.r));
+          auto machine = std::make_shared<Machine>(*graph, SimParams{},
+                                                   dfs_host_order(*graph));
+          const bool alltoall = std::string_view(c.collective) == "alltoall";
+          return [machine, alltoall] {
+            machine->reset();
+            const double elapsed =
+                alltoall ? machine->alltoall(1024) : machine->allreduce(4096);
+            do_not_optimize(elapsed);
+          };
+        },
+        c.quick,
+    });
+  }
+}
+
+void register_partition(BenchRegistry& registry) {
+  struct Config {
+    std::uint32_t n, r;
+    bool quick;
+  };
+  for (const Config& c : {Config{512, 12, true}, Config{2048, 24, false}}) {
+    const std::string size =
+        ".n" + std::to_string(c.n) + "_r" + std::to_string(c.r);
+    registry.add({
+        "partition.coarsen" + size,
+        "partition",
+        [c]() -> BenchOp {
+          auto csr = std::make_shared<CsrGraph>(
+              csr_from_host_switch_graph(setup_graph(c.n, c.r)));
+          return [csr] {
+            Xoshiro256 rng(kSetupSeed);
+            const auto chain = coarsen_chain(*csr, rng);
+            do_not_optimize(chain.size());
+          };
+        },
+        c.quick,
+    });
+    registry.add({
+        "partition.fm_refine" + size,
+        "partition",
+        [c]() -> BenchOp {
+          auto csr = std::make_shared<CsrGraph>(
+              csr_from_host_switch_graph(setup_graph(c.n, c.r)));
+          // A deliberately bad (random balanced) bisection: FM gets real
+          // work every op, and the initial vector restores each call.
+          auto side0 = std::make_shared<std::vector<std::uint8_t>>(
+              csr->num_vertices());
+          Xoshiro256 rng(kSetupSeed);
+          for (std::size_t v = 0; v < side0->size(); ++v) {
+            (*side0)[v] = static_cast<std::uint8_t>((v ^ rng()) & 1);
+          }
+          const std::uint64_t total = csr->total_vertex_weight();
+          return [csr, side0, total] {
+            std::vector<std::uint8_t> side = *side0;
+            FmOptions options;
+            options.max_side_weight[0] = total / 2 + total / 20 + 1;
+            options.max_side_weight[1] = options.max_side_weight[0];
+            const std::uint64_t cut = fm_refine(*csr, side, options);
+            do_not_optimize(cut);
+          };
+        },
+        c.quick,
+    });
+    registry.add({
+        "partition.kway8" + size,
+        "partition",
+        [c]() -> BenchOp {
+          auto graph = std::make_shared<HostSwitchGraph>(setup_graph(c.n, c.r));
+          return [graph] {
+            const std::uint64_t cut = host_switch_cut(*graph, 8, kSetupSeed);
+            do_not_optimize(cut);
+          };
+        },
+        c.quick,
+    });
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using orp::bench::finish_obs;
+  using orp::bench::parse_cli_with_obs;
+
+  CliParser cli("microbench",
+                "hot-path microbenchmarks emitting BENCH_microbench.json");
+  cli.flag("quick", "CI subset: small sizes, 5 repetitions, 10ms repetitions");
+  cli.flag("list", "list benchmark names and exit");
+  cli.option("filter", "", "run only benchmarks whose name contains this substring");
+  cli.option("out", "BENCH_microbench.json", "output JSON path");
+  cli.option("repetitions", "0", "measured repetitions per benchmark (0 = mode default)");
+  cli.option("warmup", "0", "discarded warmup repetitions (0 = mode default)");
+  cli.option("min-rep-ms", "0", "minimum milliseconds per repetition (0 = mode default)");
+  if (!parse_cli_with_obs(cli, argc, argv)) return 0;
+
+  BenchRegistry& registry = BenchRegistry::global();
+  register_aspl(registry);
+  register_annealer(registry);
+  register_sim(registry);
+  register_partition(registry);
+
+  RunOptions options;
+  options.quick = cli.has("quick");
+  options.filter = cli.get("filter");
+  options.repetitions = options.quick ? 5 : 12;
+  options.warmup = options.quick ? 1 : 2;
+  options.min_rep_seconds = options.quick ? 0.010 : 0.050;
+  if (cli.get_int("repetitions") > 0) {
+    options.repetitions = static_cast<int>(cli.get_int("repetitions"));
+  }
+  if (cli.get_int("warmup") > 0) {
+    options.warmup = static_cast<int>(cli.get_int("warmup"));
+  }
+  if (cli.get_int("min-rep-ms") > 0) {
+    options.min_rep_seconds = static_cast<double>(cli.get_int("min-rep-ms")) / 1e3;
+  }
+
+  if (cli.has("list")) {
+    for (const BenchmarkDef& def : registry.benchmarks()) {
+      if (options.quick && !def.quick) continue;
+      std::cout << def.name << (def.quick ? "" : "  [full]") << "\n";
+    }
+    return 0;
+  }
+
+  orp::bench::print_header(std::string("Microbenchmarks (") +
+                           (options.quick ? "quick" : "full") + " suite)");
+  options.progress = &std::cerr;
+  const BenchReport report = registry.run(options);
+
+  Table table({"benchmark", "family", "op/rep", "min ns/op", "median ns/op",
+               "mad ns/op", "ops/s", "cycles/op", "ipc"});
+  for (const BenchEntry& e : report.entries) {
+    table.row()
+        .add(e.name)
+        .add(e.family)
+        .add(static_cast<std::size_t>(e.iters_per_rep))
+        .add(e.wall.min_ns, 1)
+        .add(e.wall.median_ns, 1)
+        .add(e.wall.mad_ns, 1)
+        .add(e.wall.ops_per_sec, 2)
+        .add(e.hw.valid ? format_double(e.hw.cycles, 0) : "-")
+        .add(e.hw.valid ? format_double(e.hw.ipc, 2) : "-");
+  }
+  orp::bench::emit_table(table, "microbench");
+  std::cout << "counters: " << report.counters_source
+            << "  peak rss: " << report.peak_rss_kb << " kB\n";
+
+  const std::string out = cli.get("out");
+  std::ofstream file(out);
+  if (!file) {
+    std::cerr << "error: cannot write " << out << "\n";
+    return 1;
+  }
+  file << report_to_json(report);
+  std::cout << "wrote " << report.entries.size() << " benchmark series to "
+            << out << "\n";
+
+  finish_obs(cli);
+  return 0;
+}

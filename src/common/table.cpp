@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <ostream>
 
@@ -92,6 +93,13 @@ void Table::write_csv(std::ostream& os) const {
 }
 
 bool Table::write_csv_file(const std::string& path) const {
+  // mkdir -p semantics: a CSV destination like $ORP_CSV_DIR/fig05.csv must
+  // not silently drop data just because the directory wasn't made yet.
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);  // open below reports failure
+  }
   std::ofstream file(path);
   if (!file) return false;
   write_csv(file);

@@ -34,7 +34,7 @@ class Table {
   void print(std::ostream& os) const;
   /// RFC-4180-ish CSV (cells containing commas/quotes are quoted).
   void write_csv(std::ostream& os) const;
-  /// Writes CSV to `path`, creating parent directories is NOT attempted.
+  /// Writes CSV to `path`, creating missing parent directories (mkdir -p).
   /// Returns false (and logs nothing) if the file cannot be opened.
   bool write_csv_file(const std::string& path) const;
 

@@ -53,19 +53,22 @@ inline std::uint64_t now_ns() noexcept {
 }
 
 /// Bucket of a value: index i holds values v with bit_width(v) == i, i.e.
-/// [2^(i-1), 2^i). Bucket 0 holds exactly v == 0.
+/// [2^(i-1), 2^i). Bucket 0 holds exactly v == 0. The last bucket is
+/// open-ended: values with bit_width >= kHistogramBuckets (>= 2^63) fold
+/// into it, keeping the index inside the bucket array.
 inline std::size_t bucket_of(std::uint64_t value) noexcept {
   std::size_t width = 0;
   while (value) {
     ++width;
     value >>= 1;
   }
-  return width;
+  return width < kHistogramBuckets ? width : kHistogramBuckets - 1;
 }
 
-/// Upper edge of bucket i (inclusive): 2^i - 1.
+/// Upper edge of bucket i (inclusive): 2^i - 1. The open-ended last bucket
+/// reports the full uint64 range.
 inline std::uint64_t bucket_upper(std::size_t bucket) noexcept {
-  if (bucket >= 64) return ~0ULL;
+  if (bucket >= kHistogramBuckets - 1) return ~0ULL;
   return (bucket == 0) ? 0 : ((1ULL << bucket) - 1);
 }
 

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "common/cli.hpp"
+#include "common/json.hpp"
 #include "common/prng.hpp"
 #include "common/require.hpp"
 #include "common/table.hpp"
@@ -203,6 +204,66 @@ TEST(Require, ThrowsWithMessage) {
   } catch (const std::invalid_argument& e) {
     EXPECT_NE(std::string(e.what()).find("math broke"), std::string::npos);
   }
+}
+
+TEST(Json, ParsesNestedDocument) {
+  const JsonValue doc = JsonValue::parse(
+      "{\"schema\": \"orp-bench/1\", \"quick\": true, \"rss\": 1234,\n"
+      "  \"benchmarks\": [{\"name\": \"aspl.x\", \"ns\": 12.5},\n"
+      "                   {\"name\": \"sim.y\", \"ns\": -3e2}],\n"
+      "  \"none\": null}");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("schema").as_string(), "orp-bench/1");
+  EXPECT_TRUE(doc.at("quick").as_bool());
+  EXPECT_EQ(doc.at("rss").as_number(), 1234.0);
+  EXPECT_TRUE(doc.at("none").is_null());
+  const auto& benchmarks = doc.at("benchmarks").items();
+  ASSERT_EQ(benchmarks.size(), 2u);
+  EXPECT_EQ(benchmarks[0].at("name").as_string(), "aspl.x");
+  EXPECT_DOUBLE_EQ(benchmarks[0].at("ns").as_number(), 12.5);
+  EXPECT_DOUBLE_EQ(benchmarks[1].at("ns").as_number(), -300.0);
+  // Objects preserve insertion order (the canonical schema relies on it).
+  EXPECT_EQ(doc.members()[0].first, "schema");
+  EXPECT_EQ(doc.members()[4].first, "none");
+}
+
+TEST(Json, DecodesStringEscapes) {
+  const JsonValue v =
+      JsonValue::parse("\"tab\\t quote\\\" slash\\\\ nl\\n\"");
+  EXPECT_EQ(v.as_string(), "tab\t quote\" slash\\ nl\n");
+}
+
+TEST(Json, EscapeStringRoundTripsThroughParse) {
+  const std::string raw = "a,\"b\"\n\tc\\d";
+  const JsonValue v = JsonValue::parse("\"" + json_escape_string(raw) + "\"");
+  EXPECT_EQ(v.as_string(), raw);
+}
+
+TEST(Json, FindAndAtDistinguishMissingKeys) {
+  const JsonValue doc = JsonValue::parse("{\"a\": 1}");
+  ASSERT_NE(doc.find("a"), nullptr);
+  EXPECT_EQ(doc.find("b"), nullptr);
+  EXPECT_THROW(doc.at("b"), std::runtime_error);
+  EXPECT_THROW(doc.at("a").as_string(), std::runtime_error);  // kind mismatch
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\" 1}", "tru", "1 2",
+                          "\"unterminated", "{\"a\":1,}", "nan"}) {
+    EXPECT_THROW(JsonValue::parse(bad), std::runtime_error) << bad;
+  }
+}
+
+TEST(Json, BuildsDocumentsProgrammatically) {
+  JsonValue arr = JsonValue::make_array();
+  arr.push_back(JsonValue::make_number(1.0));
+  arr.push_back(JsonValue::make_string("two"));
+  JsonValue obj = JsonValue::make_object();
+  obj.set("list", std::move(arr));
+  obj.set("flag", JsonValue::make_bool(false));
+  EXPECT_EQ(obj.at("list").items().size(), 2u);
+  EXPECT_EQ(obj.at("list").items()[1].as_string(), "two");
+  EXPECT_FALSE(obj.at("flag").as_bool());
 }
 
 TEST(EnvInt, FallsBackWhenUnsetOrInvalid) {

@@ -250,6 +250,79 @@ TEST(ObsHistogram, QuantilesAreBracketedByExtrema) {
   EXPECT_EQ(sample.quantile(1.0), sample.max);
 }
 
+TEST(ObsHistogram, BucketBoundaryEdges) {
+  using obs::detail::bucket_of;
+  using obs::detail::bucket_upper;
+  EXPECT_EQ(bucket_of(0), 0u);
+  EXPECT_EQ(bucket_of(1), 1u);
+  for (std::size_t k = 1; k <= 61; ++k) {
+    // 2^k - 1 closes bucket k; 2^k opens bucket k + 1.
+    EXPECT_EQ(bucket_of((1ULL << k) - 1), k);
+    EXPECT_EQ(bucket_of(1ULL << k), k + 1);
+  }
+  // The last bucket is open-ended: bit widths 63 and 64 both fold into it,
+  // so the index stays inside the kHistogramBuckets-slot array.
+  EXPECT_EQ(bucket_of(1ULL << 62), obs::kHistogramBuckets - 1);
+  EXPECT_EQ(bucket_of(1ULL << 63), obs::kHistogramBuckets - 1);
+  EXPECT_EQ(bucket_of(~0ULL), obs::kHistogramBuckets - 1);
+  EXPECT_EQ(bucket_upper(0), 0u);
+  for (std::size_t k = 1; k < obs::kHistogramBuckets - 1; ++k) {
+    EXPECT_EQ(bucket_upper(k), (1ULL << k) - 1);
+  }
+  EXPECT_EQ(bucket_upper(obs::kHistogramBuckets - 1), ~0ULL);
+}
+
+TEST(ObsHistogram, ExtremeValuesLandInTheOpenEndedBucket) {
+  obs::Histogram& histogram =
+      obs::Registry::global().histogram("test.histogram.extreme");
+  histogram.reset();
+  histogram.record(~0ULL);
+  histogram.record(1ULL << 63);
+  const obs::HistogramSample sample = histogram.sample();
+  EXPECT_EQ(sample.count, 2u);
+  EXPECT_EQ(sample.max, ~0ULL);
+  EXPECT_EQ(sample.buckets[obs::kHistogramBuckets - 1], 2u);
+  // The open-ended edge is clamped by the observed maximum.
+  EXPECT_EQ(sample.quantile(1.0), ~0ULL);
+}
+
+TEST(ObsHistogram, EmptySnapshotIsAllZeros) {
+  obs::Histogram& histogram =
+      obs::Registry::global().histogram("test.histogram.empty");
+  histogram.reset();
+  const obs::HistogramSample sample = histogram.sample();
+  EXPECT_EQ(sample.count, 0u);
+  EXPECT_EQ(sample.sum, 0u);
+  EXPECT_EQ(sample.min, 0u);
+  EXPECT_EQ(sample.max, 0u);
+  EXPECT_EQ(sample.mean(), 0.0);
+  EXPECT_EQ(sample.quantile(0.0), 0u);
+  EXPECT_EQ(sample.quantile(0.5), 0u);
+  EXPECT_EQ(sample.quantile(1.0), 0u);
+  for (const std::uint64_t b : sample.buckets) EXPECT_EQ(b, 0u);
+}
+
+TEST(ObsHistogram, QuantileReportsBucketEdgeClampedByExtrema) {
+  obs::Histogram& histogram =
+      obs::Registry::global().histogram("test.histogram.qedge");
+  histogram.reset();
+  for (int i = 0; i < 99; ++i) histogram.record(5);  // bucket 3: [4, 7]
+  histogram.record(1000);                            // bucket 10: [512, 1023]
+  const obs::HistogramSample sample = histogram.sample();
+  // Ranks 1..99 fall in bucket 3, whose upper edge (7) is inside [min, max].
+  EXPECT_EQ(sample.quantile(0.5), 7u);
+  EXPECT_EQ(sample.quantile(0.99), 7u);
+  // Rank 100 falls in bucket 10; its edge (1023) clamps to the observed max.
+  EXPECT_EQ(sample.quantile(1.0), 1000u);
+  // A single-bucket histogram reports exact values, not power-of-two edges.
+  histogram.reset();
+  histogram.record(6);
+  histogram.record(6);
+  const obs::HistogramSample single = histogram.sample();
+  EXPECT_EQ(single.quantile(0.5), 6u);
+  EXPECT_EQ(single.quantile(1.0), 6u);
+}
+
 TEST(ObsScopedTimer, RecordsPositiveLatency) {
   obs::Histogram& histogram = obs::Registry::global().histogram("test.histogram.timer");
   histogram.reset();
@@ -412,6 +485,26 @@ TEST(ObsSink, CsvSinkWritesMetricsSnapshot) {
   bool found = false;
   for (const auto& line : lines) {
     if (line.find("test.csv.counter") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+  std::remove(path.c_str());
+}
+
+TEST(ObsSink, CsvSinkEscapesDelimitersAndQuotes) {
+  // RFC-4180: cells containing delimiters or quotes are wrapped in quotes
+  // with inner quotes doubled; an instrument name is an arbitrary string,
+  // so the sink must not let one shift the columns of every row after it.
+  const std::string path = temp_path("obs_escape.csv");
+  obs::Registry::global().counter("test.csv.\"tricky\",name").add(3);
+  ASSERT_TRUE(obs::configure(obs::parse_sink(path)));
+  obs::flush();
+  obs::configure(obs::SinkConfig{});  // detach so later tests start clean
+  const std::vector<std::string> lines = read_lines(path);
+  bool found = false;
+  for (const auto& line : lines) {
+    if (line.find("\"test.csv.\"\"tricky\"\",name\"") != std::string::npos) {
+      found = true;
+    }
   }
   EXPECT_TRUE(found);
   std::remove(path.c_str());
