@@ -25,7 +25,7 @@ HostSwitchGraph graph_for(std::int64_t m) {
 void BM_ScalarBfs(benchmark::State& state) {
   const auto g = graph_for(state.range(0));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(compute_host_metrics(g, AsplKernel::kScalarBfs));
+    benchmark::DoNotOptimize(detail::compute_host_metrics_scalar(g));
   }
 }
 BENCHMARK(BM_ScalarBfs)->Arg(64)->Arg(194)->Arg(512);

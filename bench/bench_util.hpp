@@ -34,6 +34,14 @@ inline std::uint64_t bench_seed() {
   return static_cast<std::uint64_t>(env_int("ORP_BENCH_SEED", 1));
 }
 
+/// The --eval strategy parsed by parse_cli_with_obs (delta unless the
+/// binary was invoked with --eval full). Benches that run SA read this into
+/// their SolveOptions / AnnealOptions.
+inline EvalStrategy& cli_eval_strategy() {
+  static EvalStrategy strategy = EvalStrategy::kDelta;
+  return strategy;
+}
+
 /// Builds the paper's proposed topology for (n, r): m_opt switches, SA with
 /// the 2-neighbor swing operation.
 inline SolveResult build_proposed(std::uint32_t n, std::uint32_t r,
@@ -43,6 +51,7 @@ inline SolveResult build_proposed(std::uint32_t n, std::uint32_t r,
   options.iterations = iterations;
   options.seed = seed ? seed : bench_seed();
   options.mode = MoveMode::kTwoNeighborSwing;
+  options.eval = cli_eval_strategy();
   return solve_orp(n, r, options);
 }
 
@@ -63,8 +72,12 @@ inline void print_header(const std::string& title) {
 /// --help (caller exits 0); throws std::invalid_argument like cli.parse.
 inline bool parse_cli_with_obs(CliParser& cli, int argc, const char* const* argv) {
   obs::add_cli_options(cli);
+  cli.option("eval", "delta",
+             "h-ASPL evaluation in SA: delta (incremental) or full "
+             "(from-scratch per move)");
   if (!cli.parse(argc, argv)) return false;
   obs::apply_cli(cli);
+  cli_eval_strategy() = parse_eval_strategy(cli.get("eval"));
   return true;
 }
 

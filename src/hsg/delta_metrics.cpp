@@ -1,0 +1,749 @@
+#include "hsg/delta_metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/metrics.hpp"
+
+namespace orp {
+namespace {
+
+// Per-process delta-eval counters: hit/fallback ratio and repair volume.
+// An "incremental" apply repaired in place; a "fallback" apply rebuilt the
+// whole distance state from scratch.
+struct DeltaInstruments {
+  obs::Counter& applies;
+  obs::Counter& reverts;
+  obs::Counter& incremental;
+  obs::Counter& fallback;
+  obs::Counter& dirty_sources;
+  obs::Counter& scalar_repairs;
+  obs::Counter& batched_sources;
+
+  static DeltaInstruments& get() {
+    auto& registry = obs::Registry::global();
+    static DeltaInstruments instance{
+        registry.counter("delta_eval.applies"),
+        registry.counter("delta_eval.reverts"),
+        registry.counter("delta_eval.incremental"),
+        registry.counter("delta_eval.fallback"),
+        registry.counter("delta_eval.dirty_sources"),
+        registry.counter("delta_eval.scalar_repairs"),
+        registry.counter("delta_eval.batched_sources")};
+    return instance;
+  }
+};
+
+}  // namespace
+
+DeltaHasplEvaluator::DeltaHasplEvaluator(const HostSwitchGraph& g,
+                                         DeltaEvalOptions options)
+    : options_(options) {
+  rebuild(g);
+}
+
+void DeltaHasplEvaluator::rebuild(const HostSwitchGraph& g) {
+  ORP_REQUIRE(g.fully_attached(),
+              "delta evaluator needs every host attached to a switch");
+  ORP_REQUIRE(g.num_switches() < kInf16,
+              "delta evaluator supports at most 65534 switches");
+  m_ = g.num_switches();
+
+  // Stride r+2: a replayed move may transiently push a switch one past its
+  // final degree (additions are mirrored before removals).
+  adj_stride_ = g.radix() + 2;
+  adj_.assign(std::size_t{m_} * adj_stride_, 0);
+  degree_.assign(m_, 0);
+  weight_.resize(m_);
+  sync_graph(g);
+
+  dist_.assign(std::size_t{m_} * m_, kInf16);
+  sum_w_.assign(m_, 0);
+  unreach_w_.assign(m_, 0);
+  row_max_.assign(m_, 0);
+
+  dirty_sources_.clear();
+  dirty_sources_.reserve(m_);
+  queue_.clear();
+  queue_.reserve(m_);
+  affected_.reserve(m_);
+  level_cur_.reserve(m_);
+  level_next_.reserve(m_);
+  tentative_.assign(m_, kInf16);
+  visit_epoch_.assign(m_, 0);
+  epoch_ = 0;
+  buckets_.assign(std::size_t{m_} + 2, {});
+  scratch_rows_.assign(std::size_t{64} * m_, kInf16);
+  bp_frontier_.assign(m_, 0);
+  bp_next_.assign(m_, 0);
+  bp_reached_.assign(m_, 0);
+
+  alt_u_.assign(m_, 0);
+  alt_v_.assign(m_, 0);
+
+  undo_entries_.clear();
+  undo_entries_.reserve(std::size_t{8} * m_);
+  undo_rows_.clear();
+  undo_rows_.reserve(m_);
+  frames_.clear();
+  row_epoch_.assign(m_, 0);
+  rescan_epoch_.assign(m_, 0);
+  rescan_rows_.clear();
+  rescan_rows_.reserve(m_);
+  apply_epoch_ = 0;
+
+  rebuild_all_rows();
+  rebuild_aggregates();
+}
+
+void DeltaHasplEvaluator::sync_graph(const HostSwitchGraph& g) {
+  ORP_ASSERT(g.num_switches() == m_);
+  n_ = g.num_hosts();
+  std::fill(degree_.begin(), degree_.end(), 0);
+  for (SwitchId s = 0; s < m_; ++s) {
+    for (SwitchId t : g.neighbors(s)) {
+      adj_[std::size_t{s} * adj_stride_ + degree_[s]++] = t;
+    }
+  }
+  for (SwitchId s = 0; s < m_; ++s) weight_[s] = g.hosts_on(s);
+}
+
+void DeltaHasplEvaluator::adj_add(SwitchId a, SwitchId b) {
+  ORP_ASSERT(degree_[a] < adj_stride_ && degree_[b] < adj_stride_);
+  adj_[std::size_t{a} * adj_stride_ + degree_[a]++] = b;
+  adj_[std::size_t{b} * adj_stride_ + degree_[b]++] = a;
+}
+
+void DeltaHasplEvaluator::adj_remove(SwitchId a, SwitchId b) {
+  auto drop = [&](SwitchId x, SwitchId y) {
+    SwitchId* list = adj_.data() + std::size_t{x} * adj_stride_;
+    const std::uint32_t deg = degree_[x];
+    for (std::uint32_t i = 0; i < deg; ++i) {
+      if (list[i] == y) {
+        list[i] = list[deg - 1];
+        --degree_[x];
+        return;
+      }
+    }
+    ORP_ASSERT(false);
+  };
+  drop(a, b);
+  drop(b, a);
+}
+
+void DeltaHasplEvaluator::write_entry(std::uint32_t s, std::uint32_t v,
+                                      std::uint16_t next) {
+  std::uint16_t* rs = row(s);
+  const std::uint16_t old = rs[v];
+  if (old == next) return;
+  if (row_epoch_[s] != apply_epoch_) {
+    row_epoch_[s] = apply_epoch_;
+    undo_rows_.push_back({s, sum_w_[s], unreach_w_[s], row_max_[s]});
+  }
+  undo_entries_.push_back(std::uint64_t{s} << 32 | std::uint64_t{v} << 16 | old);
+  rs[v] = next;
+
+  // Maintain the weighted aggregates in place; only a lowered row max needs
+  // a deferred rescan (apply() drains rescan_rows_ before the host moves).
+  // Until that rescan, row_max_[s] is an upper bound on the true max.
+  const std::uint32_t wv = weight_[v];
+  if (!wv) return;
+  if (old == kInf16) {
+    unreach_w_[s] -= wv;
+  } else {
+    sum_w_[s] -= std::uint64_t{wv} * old;
+  }
+  if (next == kInf16) {
+    unreach_w_[s] += wv;
+  } else {
+    sum_w_[s] += std::uint64_t{wv} * next;
+    if (next > row_max_[s]) row_max_[s] = next;
+  }
+  if (old != kInf16 && old == row_max_[s] &&
+      rescan_epoch_[s] != apply_epoch_) {
+    rescan_epoch_[s] = apply_epoch_;
+    rescan_rows_.push_back(s);
+  }
+}
+
+void DeltaHasplEvaluator::recompute_row_aggregates(std::uint32_t s) {
+  const std::uint16_t* rs = row(s);
+  std::uint64_t sum = 0, unreach = 0;
+  std::uint16_t mx = 0;
+  for (std::uint32_t v = 0; v < m_; ++v) {
+    const std::uint32_t wv = weight_[v];
+    if (!wv) continue;
+    const std::uint16_t d = rs[v];
+    if (d == kInf16) {
+      unreach += wv;
+    } else {
+      sum += std::uint64_t{wv} * d;
+      if (d > mx) mx = d;
+    }
+  }
+  sum_w_[s] = sum;
+  unreach_w_[s] = unreach;
+  row_max_[s] = mx;
+}
+
+void DeltaHasplEvaluator::rescan_row_max(std::uint32_t s) {
+  const std::uint16_t* rs = row(s);
+  std::uint16_t mx = 0;
+  for (std::uint32_t v = 0; v < m_; ++v) {
+    if (weight_[v] && rs[v] != kInf16 && rs[v] > mx) mx = rs[v];
+  }
+  row_max_[s] = mx;
+}
+
+// ---- per-source repairs -------------------------------------------------
+
+void DeltaHasplEvaluator::repair_addition(std::uint32_t s, SwitchId near,
+                                          SwitchId far) {
+  // Pruned BFS from the farther endpoint: every vertex improvable through
+  // the new edge is reached through `far`, and the pruning (only enqueue on
+  // strict improvement) is exact for unit weights.
+  std::uint16_t* rs = row(s);
+  const std::uint32_t nd = std::uint32_t{rs[near]} + 1;
+  queue_.clear();
+  write_entry(s, far, static_cast<std::uint16_t>(nd));
+  queue_.push_back(far);
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const std::uint32_t x = queue_[head];
+    const std::uint32_t dx = rs[x];
+    const SwitchId* nb = adj_.data() + std::size_t{x} * adj_stride_;
+    const std::uint32_t deg = degree_[x];
+    for (std::uint32_t i = 0; i < deg; ++i) {
+      const SwitchId y = nb[i];
+      if (std::uint32_t{rs[y]} > dx + 1) {
+        write_entry(s, y, static_cast<std::uint16_t>(dx + 1));
+        queue_.push_back(y);
+      }
+    }
+  }
+}
+
+void DeltaHasplEvaluator::repair_removal(std::uint32_t s, SwitchId far) {
+  std::uint16_t* rs = row(s);
+
+  // Phase 1 — affected-set discovery in old-BFS-level order. `far` lost its
+  // last predecessor (checked by the caller's filter); a deeper vertex is
+  // affected iff every predecessor on the previous level is affected, which
+  // level-ordered processing decides with finalized information.
+  epoch_ += 2;  // epoch_ = affected, epoch_ + 1 = settled (phase 2)
+  const std::uint32_t aff = epoch_, settled = epoch_ + 1;
+  affected_.clear();
+  level_cur_.clear();
+  visit_epoch_[far] = aff;
+  affected_.push_back(far);
+  level_cur_.push_back(far);
+  std::uint32_t d = rs[far];
+  while (!level_cur_.empty()) {
+    level_next_.clear();
+    for (std::uint32_t x : level_cur_) {
+      const SwitchId* nb = adj_.data() + std::size_t{x} * adj_stride_;
+      const std::uint32_t deg = degree_[x];
+      for (std::uint32_t i = 0; i < deg; ++i) {
+        const SwitchId y = nb[i];
+        if (std::uint32_t{rs[y]} != d + 1 || visit_epoch_[y] == aff) continue;
+        bool has_alt = false;
+        const SwitchId* ynb = adj_.data() + std::size_t{y} * adj_stride_;
+        const std::uint32_t ydeg = degree_[y];
+        for (std::uint32_t j = 0; j < ydeg; ++j) {
+          const SwitchId z = ynb[j];
+          if (visit_epoch_[z] != aff && std::uint32_t{rs[z]} + 1 == std::uint32_t{rs[y]}) {
+            has_alt = true;
+            break;
+          }
+        }
+        if (has_alt) continue;
+        visit_epoch_[y] = aff;
+        affected_.push_back(y);
+        level_next_.push_back(y);
+      }
+    }
+    level_cur_.swap(level_next_);
+    ++d;
+  }
+
+  // Single-vertex affected set (the common case in well-connected graphs):
+  // every neighbor distance is final, so the new value is a direct min.
+  if (affected_.size() == 1) {
+    std::uint32_t best = kInf16;
+    const SwitchId* nb = adj_.data() + std::size_t{far} * adj_stride_;
+    const std::uint32_t deg = degree_[far];
+    for (std::uint32_t i = 0; i < deg; ++i) {
+      const std::uint32_t cand = std::uint32_t{rs[nb[i]]} + 1;
+      if (cand < best) best = cand;
+    }
+    write_entry(s, far,
+                best >= kInf16 ? kInf16 : static_cast<std::uint16_t>(best));
+    return;
+  }
+
+  // When the affected region is most of the graph a plain BFS beats the
+  // two-phase repair.
+  if (affected_.size() > m_ / 2) {
+    recompute_row_scalar(s);
+    return;
+  }
+
+  // Phase 2 — re-relax the affected region from its unaffected boundary
+  // (whose distances are final) with a bucket queue; unit weights keep the
+  // buckets dense. Vertices never settled are now unreachable.
+  std::uint32_t min_b = m_ + 1, max_b = 0;
+  for (std::uint32_t x : affected_) {
+    std::uint32_t best = kInf16;
+    const SwitchId* nb = adj_.data() + std::size_t{x} * adj_stride_;
+    const std::uint32_t deg = degree_[x];
+    for (std::uint32_t i = 0; i < deg; ++i) {
+      const SwitchId z = nb[i];
+      if (visit_epoch_[z] != aff && rs[z] != kInf16 &&
+          std::uint32_t{rs[z]} + 1 < best) {
+        best = std::uint32_t{rs[z]} + 1;
+      }
+    }
+    tentative_[x] = static_cast<std::uint16_t>(best);
+    if (best <= m_) {
+      buckets_[best].push_back(x);
+      min_b = std::min(min_b, best);
+      max_b = std::max(max_b, best);
+    }
+  }
+  for (std::uint32_t d2 = min_b; d2 <= max_b && d2 <= m_; ++d2) {
+    auto& bucket = buckets_[d2];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const std::uint32_t x = bucket[i];
+      if (visit_epoch_[x] != aff || tentative_[x] != d2) continue;  // settled/stale
+      visit_epoch_[x] = settled;
+      write_entry(s, x, static_cast<std::uint16_t>(d2));
+      const SwitchId* nb = adj_.data() + std::size_t{x} * adj_stride_;
+      const std::uint32_t deg = degree_[x];
+      for (std::uint32_t j = 0; j < deg; ++j) {
+        const SwitchId y = nb[j];
+        if (visit_epoch_[y] == aff && std::uint32_t{tentative_[y]} > d2 + 1) {
+          tentative_[y] = static_cast<std::uint16_t>(d2 + 1);
+          buckets_[d2 + 1].push_back(y);
+          max_b = std::max(max_b, d2 + 1);
+        }
+      }
+    }
+    bucket.clear();
+  }
+  for (std::uint32_t x : affected_) {
+    if (visit_epoch_[x] == aff) write_entry(s, x, kInf16);
+  }
+}
+
+void DeltaHasplEvaluator::recompute_row_scalar(std::uint32_t s) {
+  std::fill(tentative_.begin(), tentative_.end(), kInf16);
+  queue_.clear();
+  queue_.push_back(s);
+  tentative_[s] = 0;
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const std::uint32_t x = queue_[head];
+    const std::uint32_t dx = tentative_[x];
+    const SwitchId* nb = adj_.data() + std::size_t{x} * adj_stride_;
+    const std::uint32_t deg = degree_[x];
+    for (std::uint32_t i = 0; i < deg; ++i) {
+      const SwitchId y = nb[i];
+      if (tentative_[y] == kInf16) {
+        tentative_[y] = static_cast<std::uint16_t>(dx + 1);
+        queue_.push_back(y);
+      }
+    }
+  }
+  for (std::uint32_t v = 0; v < m_; ++v) write_entry(s, v, tentative_[v]);
+}
+
+// ---- batched bit-parallel recompute ------------------------------------
+
+void DeltaHasplEvaluator::recompute_rows_bitparallel(
+    const std::vector<std::uint32_t>& sources) {
+  for (std::size_t begin = 0; begin < sources.size(); begin += 64) {
+    const std::size_t block = std::min<std::size_t>(64, sources.size() - begin);
+    std::fill(scratch_rows_.begin(),
+              scratch_rows_.begin() + static_cast<std::ptrdiff_t>(block * m_), kInf16);
+    std::fill(bp_frontier_.begin(), bp_frontier_.end(), 0);
+    std::fill(bp_reached_.begin(), bp_reached_.end(), 0);
+    for (std::size_t j = 0; j < block; ++j) {
+      const std::uint32_t src = sources[begin + j];
+      bp_frontier_[src] |= 1ULL << j;
+      bp_reached_[src] |= 1ULL << j;
+      scratch_rows_[j * m_ + src] = 0;
+    }
+    for (std::uint32_t round = 1; round <= m_; ++round) {
+      std::fill(bp_next_.begin(), bp_next_.end(), 0);
+      bool any = false;
+      for (std::uint32_t v = 0; v < m_; ++v) {
+        std::uint64_t acc = 0;
+        const SwitchId* nb = adj_.data() + std::size_t{v} * adj_stride_;
+        const std::uint32_t deg = degree_[v];
+        for (std::uint32_t i = 0; i < deg; ++i) acc |= bp_frontier_[nb[i]];
+        std::uint64_t fresh = acc & ~bp_reached_[v];
+        if (!fresh) continue;
+        any = true;
+        bp_next_[v] = fresh;
+        bp_reached_[v] |= fresh;
+        while (fresh) {
+          const int j = __builtin_ctzll(fresh);
+          fresh &= fresh - 1;
+          scratch_rows_[static_cast<std::size_t>(j) * m_ + v] =
+              static_cast<std::uint16_t>(round);
+        }
+      }
+      if (!any) break;
+      bp_frontier_.swap(bp_next_);
+    }
+    for (std::size_t j = 0; j < block; ++j) {
+      const std::uint32_t src = sources[begin + j];
+      const std::uint16_t* fresh_row = scratch_rows_.data() + j * m_;
+      for (std::uint32_t v = 0; v < m_; ++v) write_entry(src, v, fresh_row[v]);
+    }
+  }
+}
+
+void DeltaHasplEvaluator::rebuild_all_rows() {
+  std::fill(dist_.begin(), dist_.end(), kInf16);
+  for (std::uint32_t begin = 0; begin < m_; begin += 64) {
+    const std::uint32_t block = std::min<std::uint32_t>(64, m_ - begin);
+    std::fill(bp_frontier_.begin(), bp_frontier_.end(), 0);
+    std::fill(bp_reached_.begin(), bp_reached_.end(), 0);
+    for (std::uint32_t j = 0; j < block; ++j) {
+      const std::uint32_t src = begin + j;
+      bp_frontier_[src] |= 1ULL << j;
+      bp_reached_[src] |= 1ULL << j;
+      row(src)[src] = 0;
+    }
+    for (std::uint32_t round = 1; round <= m_; ++round) {
+      std::fill(bp_next_.begin(), bp_next_.end(), 0);
+      bool any = false;
+      for (std::uint32_t v = 0; v < m_; ++v) {
+        std::uint64_t acc = 0;
+        const SwitchId* nb = adj_.data() + std::size_t{v} * adj_stride_;
+        const std::uint32_t deg = degree_[v];
+        for (std::uint32_t i = 0; i < deg; ++i) acc |= bp_frontier_[nb[i]];
+        std::uint64_t fresh = acc & ~bp_reached_[v];
+        if (!fresh) continue;
+        any = true;
+        bp_next_[v] = fresh;
+        bp_reached_[v] |= fresh;
+        while (fresh) {
+          const int j = __builtin_ctzll(fresh);
+          fresh &= fresh - 1;
+          row(begin + static_cast<std::uint32_t>(j))[v] =
+              static_cast<std::uint16_t>(round);
+        }
+      }
+      if (!any) break;
+      bp_frontier_.swap(bp_next_);
+    }
+  }
+}
+
+void DeltaHasplEvaluator::rebuild_aggregates() {
+  weighted_switches_ = 0;
+  for (std::uint32_t s = 0; s < m_; ++s) {
+    if (weight_[s]) ++weighted_switches_;
+    recompute_row_aggregates(s);
+  }
+}
+
+// ---- change application -------------------------------------------------
+
+void DeltaHasplEvaluator::apply_edge_addition(SwitchId u, SwitchId v) {
+  // Collect the dirty sources before repairing any row: the filter reads
+  // rows u and v, which may themselves be dirty.
+  dirty_sources_.clear();
+  const std::uint16_t* ru = row(u);
+  const std::uint16_t* rv = row(v);
+  // |du - dv| >= 2 covers every case in one predictable test: equal levels
+  // (incl. both unreachable) give 0, an adjacent-level pair gives 1, and a
+  // finite/unreachable pair gives a huge gap (a real shortcut).
+  for (std::uint32_t s = 0; s < m_; ++s) {
+    const std::uint32_t du = ru[s], dv = rv[s];
+    const std::uint32_t gap = du > dv ? du - dv : dv - du;
+    if (gap >= 2) dirty_sources_.push_back(s);
+  }
+  stats_.dirty_sources += dirty_sources_.size();
+  stats_.scalar_repairs += dirty_sources_.size();
+  for (std::uint32_t s : dirty_sources_) {
+    const std::uint16_t* base_u = row(u);  // row u may have been repaired (s == u)
+    const std::uint16_t* base_v = row(v);
+    const bool u_near = std::uint32_t{base_u[s]} < std::uint32_t{base_v[s]};
+    repair_addition(s, u_near ? u : v, u_near ? v : u);
+  }
+}
+
+void DeltaHasplEvaluator::apply_edge_removal(SwitchId u, SwitchId v) {
+  // Dirty filter: row s changes iff the endpoints sat on different BFS
+  // levels AND the deeper endpoint has no surviving neighbor one level
+  // closer (the adjacency already excludes the removed edge, so only
+  // survivors are seen). The surviving-predecessor masks are built with
+  // branch-free row-vs-row sweeps (one per endpoint neighbor) that the
+  // compiler vectorizes over uint16 lanes; rz[s] + 1 wrapping at the
+  // unreachable sentinel can only collide at s == u (resp. v), whose mask
+  // entry is never consulted because that source's far endpoint is the
+  // other one.
+  dirty_sources_.clear();
+  const std::uint16_t* ru = row(u);
+  const std::uint16_t* rv = row(v);
+  auto build_alt_mask = [&](SwitchId x, const std::uint16_t* rx,
+                            std::uint16_t* alt) {
+    std::fill(alt, alt + m_, 0);
+    const SwitchId* nb = adj_.data() + std::size_t{x} * adj_stride_;
+    const std::uint32_t deg = degree_[x];
+    for (std::uint32_t i = 0; i < deg; ++i) {
+      const std::uint16_t* rz = row(nb[i]);
+      for (std::uint32_t s = 0; s < m_; ++s) {
+        alt[s] |= static_cast<std::uint16_t>(
+            static_cast<std::uint16_t>(rz[s] + 1) == rx[s]);
+      }
+    }
+  };
+  build_alt_mask(u, ru, alt_u_.data());
+  build_alt_mask(v, rv, alt_v_.data());
+  for (std::uint32_t s = 0; s < m_; ++s) {
+    const std::uint32_t du = ru[s], dv = rv[s];
+    if (du == dv) continue;  // edge on no shortest path from s (or both inf)
+    if (std::max(du, dv) == kInf16) continue;  // already unreachable
+    if (!(du > dv ? alt_u_[s] : alt_v_[s])) dirty_sources_.push_back(s);
+  }
+  stats_.dirty_sources += dirty_sources_.size();
+
+  if (options_.batch_sources && dirty_sources_.size() <= options_.batch_sources) {
+    stats_.scalar_repairs += dirty_sources_.size();
+    for (std::uint32_t s : dirty_sources_) {
+      const bool v_far = std::uint32_t{row(v)[s]} > std::uint32_t{row(u)[s]};
+      repair_removal(s, v_far ? v : u);
+    }
+  } else {
+    stats_.batched_sources += dirty_sources_.size();
+    recompute_rows_bitparallel(dirty_sources_);
+  }
+}
+
+void DeltaHasplEvaluator::apply_host_move(SwitchId from, SwitchId to) {
+  ORP_ASSERT(weight_[from] > 0);
+  // Shrinking a row max on a weight zero-crossing is the one change the
+  // undo log cannot reverse arithmetically: snapshot all row maxes once.
+  if (weight_[from] == 1 || weight_[to] == 0) {
+    UndoFrame& frame = frames_.back();
+    if (!frame.row_max_snapshot_valid) {
+      frame.row_max_snapshot.assign(row_max_.begin(), row_max_.end());
+      frame.row_max_snapshot_valid = true;
+    }
+  }
+  auto shift = [&](SwitchId x, bool gain) {
+    const std::uint16_t* rx = row(x);
+    const std::uint32_t old_w = weight_[x];
+    const std::uint32_t new_w = gain ? old_w + 1 : old_w - 1;
+    for (std::uint32_t s = 0; s < m_; ++s) {
+      const std::uint16_t dxs = rx[s];
+      if (dxs == kInf16) {
+        unreach_w_[s] += gain ? 1 : std::uint64_t(-1);
+      } else if (gain) {
+        sum_w_[s] += dxs;
+      } else {
+        sum_w_[s] -= dxs;
+      }
+    }
+    weight_[x] = new_w;
+    if (old_w == 0 && new_w > 0) {
+      ++weighted_switches_;
+      for (std::uint32_t s = 0; s < m_; ++s) {
+        if (rx[s] != kInf16 && rx[s] > row_max_[s]) row_max_[s] = rx[s];
+      }
+    } else if (old_w > 0 && new_w == 0) {
+      --weighted_switches_;
+      for (std::uint32_t s = 0; s < m_; ++s) {
+        if (rx[s] != kInf16 && rx[s] == row_max_[s] && row_max_[s] > 0) {
+          rescan_row_max(s);
+        }
+      }
+    }
+  };
+  shift(from, /*gain=*/false);
+  shift(to, /*gain=*/true);
+}
+
+HostMetrics DeltaHasplEvaluator::apply(const GraphDelta& delta) {
+  DeltaInstruments& instruments = DeltaInstruments::get();
+  ++stats_.applies;
+  instruments.applies.inc();
+  stats_.edge_changes += delta.num_added + delta.num_removed;
+  const std::uint64_t dirty_before = stats_.dirty_sources;
+
+  ++apply_epoch_;
+  rescan_rows_.clear();
+  // An apply that is never reverted (an accepted move) leaves its frame
+  // behind; bound the stack by forgetting the oldest frame. Depth 4 covers
+  // every real nesting (the 2-neighbor completion chain needs 2).
+  constexpr std::size_t kMaxUndoDepth = 4;
+  if (frames_.size() >= kMaxUndoDepth) {
+    const std::size_t drop_e = frames_[1].entries_begin;
+    const std::size_t drop_r = frames_[1].rows_begin;
+    undo_entries_.erase(undo_entries_.begin(),
+                        undo_entries_.begin() + static_cast<std::ptrdiff_t>(drop_e));
+    undo_rows_.erase(undo_rows_.begin(),
+                     undo_rows_.begin() + static_cast<std::ptrdiff_t>(drop_r));
+    frames_.erase(frames_.begin());
+    for (UndoFrame& f : frames_) {
+      f.entries_begin -= drop_e;
+      f.rows_begin -= drop_r;
+    }
+  }
+  UndoFrame frame;
+  frame.entries_begin = undo_entries_.size();
+  frame.rows_begin = undo_rows_.size();
+  frame.delta = delta;
+  frames_.push_back(std::move(frame));
+
+  const auto fallback_limit = static_cast<std::size_t>(
+      options_.fallback_fraction * static_cast<double>(m_));
+  bool fell_back = false;
+
+  // Additions first: they can only shrink distances, so a move that keeps
+  // the graph connected never routes the repair through a transiently
+  // disconnected state.
+  for (std::uint8_t i = 0; i < delta.num_added; ++i) {
+    adj_add(delta.added[i].first, delta.added[i].second);
+    if (!fell_back) apply_edge_addition(delta.added[i].first, delta.added[i].second);
+  }
+  for (std::uint8_t i = 0; i < delta.num_removed; ++i) {
+    adj_remove(delta.removed[i].first, delta.removed[i].second);
+    if (!fell_back) {
+      apply_edge_removal(delta.removed[i].first, delta.removed[i].second);
+      if (dirty_sources_.size() > fallback_limit) fell_back = true;
+    }
+  }
+
+  if (fell_back) {
+    frames_.back().was_rebuild = true;
+    for (std::uint8_t i = 0; i < delta.num_host_moves; ++i) {
+      --weight_[delta.host_moves[i].from];
+      ++weight_[delta.host_moves[i].to];
+    }
+    ++stats_.fallback_rebuilds;
+    instruments.fallback.inc();
+    rebuild_all_rows();
+    rebuild_aggregates();
+  } else {
+    // write_entry kept sum/unreach exact; rows whose max may have shrunk
+    // were queued for one rescan each. Resolve them before the host moves,
+    // which compare against row maxes.
+    for (std::uint32_t s : rescan_rows_) rescan_row_max(s);
+    for (std::uint8_t i = 0; i < delta.num_host_moves; ++i) {
+      apply_host_move(delta.host_moves[i].from, delta.host_moves[i].to);
+    }
+    instruments.incremental.inc();
+  }
+  instruments.dirty_sources.add(stats_.dirty_sources - dirty_before);
+  return metrics();
+}
+
+void DeltaHasplEvaluator::revert_last(const HostSwitchGraph& restored) {
+  ORP_REQUIRE(!frames_.empty(), "revert_last() without a pending apply()");
+  ++stats_.reverts;
+  DeltaInstruments::get().reverts.inc();
+  UndoFrame frame = std::move(frames_.back());
+  frames_.pop_back();
+
+  if (frame.was_rebuild) {
+    // The apply rebuilt from scratch, so there is nothing to replay;
+    // resync from the caller's restored graph. Deeper frames stay valid:
+    // the rebuilt arrays are exact functions of that graph state.
+    undo_entries_.resize(frame.entries_begin);
+    undo_rows_.resize(frame.rows_begin);
+    sync_graph(restored);
+    rebuild_all_rows();
+    rebuild_aggregates();
+    return;
+  }
+
+  // Exact inverse of apply(), step by step in reverse order.
+  // 1. Host moves: the distance rows they read are still in post-apply
+  //    state, so the weight shifts invert arithmetically.
+  const GraphDelta& d = frame.delta;
+  for (int i = int{d.num_host_moves} - 1; i >= 0; --i) {
+    const SwitchId to = d.host_moves[i].to;
+    const SwitchId from = d.host_moves[i].from;
+    const std::uint16_t* rt = row(to);
+    for (std::uint32_t s = 0; s < m_; ++s) {
+      if (rt[s] == kInf16) {
+        --unreach_w_[s];
+      } else {
+        sum_w_[s] -= rt[s];
+      }
+    }
+    if (--weight_[to] == 0) --weighted_switches_;
+    const std::uint16_t* rf = row(from);
+    for (std::uint32_t s = 0; s < m_; ++s) {
+      if (rf[s] == kInf16) {
+        ++unreach_w_[s];
+      } else {
+        sum_w_[s] += rf[s];
+      }
+    }
+    if (weight_[from]++ == 0) ++weighted_switches_;
+  }
+  // 2. Row maxes mutated by a zero-crossing host move.
+  if (frame.row_max_snapshot_valid) {
+    std::copy(frame.row_max_snapshot.begin(), frame.row_max_snapshot.end(),
+              row_max_.begin());
+  }
+  // 3. Pre-apply aggregates of every touched row.
+  while (undo_rows_.size() > frame.rows_begin) {
+    const RowSnapshot& snap = undo_rows_.back();
+    sum_w_[snap.row] = snap.sum_w;
+    unreach_w_[snap.row] = snap.unreach_w;
+    row_max_[snap.row] = snap.row_max;
+    undo_rows_.pop_back();
+  }
+  // 4. Distance entries, newest first.
+  while (undo_entries_.size() > frame.entries_begin) {
+    const std::uint64_t e = undo_entries_.back();
+    undo_entries_.pop_back();
+    dist_[(e >> 32) * m_ + ((e >> 16) & 0xffff)] =
+        static_cast<std::uint16_t>(e & 0xffff);
+  }
+  // 5. Mirrored adjacency (additions off first to respect the stride).
+  for (int i = int{d.num_added} - 1; i >= 0; --i) {
+    adj_remove(d.added[i].first, d.added[i].second);
+  }
+  for (int i = int{d.num_removed} - 1; i >= 0; --i) {
+    adj_add(d.removed[i].first, d.removed[i].second);
+  }
+}
+
+HostMetrics DeltaHasplEvaluator::metrics() const {
+  HostMetrics result;
+  if (n_ < 2) return result;
+  const std::uint64_t pairs = std::uint64_t{n_} * (n_ - 1) / 2;
+  std::uint64_t ordered = 0;
+  std::uint16_t max_d = 0;
+  for (std::uint32_t s = 0; s < m_; ++s) {
+    if (!weight_[s]) continue;
+    if (unreach_w_[s]) {
+      result.connected = false;
+      result.h_aspl = std::numeric_limits<double>::infinity();
+      result.diameter = HostMetrics::kUnreachable;
+      result.total_length = 0;
+      return result;
+    }
+    ordered += std::uint64_t{weight_[s]} * sum_w_[s];
+    max_d = std::max(max_d, row_max_[s]);
+  }
+  result.total_length = ordered / 2 + 2 * pairs;
+  result.h_aspl =
+      static_cast<double>(result.total_length) / static_cast<double>(pairs);
+  result.diameter = std::uint32_t{max_d} + 2;
+  return result;
+}
+
+std::uint32_t DeltaHasplEvaluator::distance(SwitchId a, SwitchId b) const {
+  ORP_ASSERT(a < m_ && b < m_);
+  const std::uint16_t d = row(a)[b];
+  return d == kInf16 ? HostMetrics::kUnreachable : d;
+}
+
+}  // namespace orp

@@ -1,0 +1,276 @@
+#pragma once
+// Incremental (delta) h-ASPL evaluation for local-search moves.
+//
+// The §5 annealer evaluates h-ASPL after every proposed swap / swing /
+// 2-neighbor-swing, and a from-scratch APSP per move dominates search
+// wall-clock (see bench/microbench.cpp, family "search"). This evaluator
+// instead mirrors the switch subgraph and maintains the full switch-to-
+// switch distance matrix across moves, repairing only the BFS trees that a
+// move can actually change.
+//
+// State per evaluator (all arena-allocated once, no per-move allocation on
+// the steady-state path):
+//   * D[s][v]      — switch-to-switch distance matrix (uint16, 0xffff = inf)
+//   * w[s]         — attached host count k_s (the APSP weights)
+//   * S_w[s]       — sum over reachable v of w[v] * D[s][v]
+//   * unreach_w[s] — summed weight of targets unreachable from s
+//   * M[s]         — max finite D[s][v] over weighted targets v
+// from which h-ASPL, host diameter, and connectivity are assembled in O(m)
+// (matching compute_host_metrics bit for bit; asserted by the differential
+// test tests/hsg_delta_metrics_test.cpp).
+//
+// A move is described as a GraphDelta (edge additions/removals plus host
+// moves) and replayed one primitive change at a time, each with an exact
+// single-change repair:
+//   * edge addition {u,v}: source s is dirty iff |D[s][u] - D[s][v]| >= 2
+//    (the standard feasible-potential argument); repaired by a pruned BFS
+//    cascade from the farther endpoint that touches only improved vertices.
+//   * edge removal {u,v}: adjacent endpoints differ by at most one level,
+//    so s is dirty iff the endpoints' levels differ AND the deeper endpoint
+//    has no surviving predecessor on an adjacent BFS level (surviving-
+//    predecessor masks built by vectorizable row-vs-row sweeps, one per
+//    endpoint neighbor); repaired Ramalingam–Reps style (level-ordered
+//    affected-set discovery, then a bucketed re-relaxation of the affected
+//    region only).
+//   * host move: distances are untouched; the weighted aggregates are
+//    updated from one row of D in O(m).
+// Each entry write updates its row's weighted sum and unreachable weight in
+// place; only a write that may lower a row's max queues that row for a
+// single deferred rescan at the end of apply().
+//
+// Every entry change and every touched row's pre-apply aggregates are
+// recorded in an undo frame, so rejecting a move costs one revert_last()
+// that replays the log backwards — no inverse repair, no graph copy.
+// Frames stack (the 2-neighbor-swing move nests two applies), popping in
+// LIFO order. Applying the inverse delta also works and is exercised by
+// the differential tests; revert_last() is just much cheaper.
+//
+// When a removal dirties many sources at once the per-source repair loses
+// to batch recomputation, so the evaluator escalates: above
+// `batch_sources` dirty sources the dirty rows are recomputed with the
+// 64-sources-per-word bit-parallel BFS kernel (in batches of 64), and
+// above `fallback_fraction * m` the whole state is rebuilt from scratch
+// (counted by the delta_eval.fallback obs counter).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "hsg/host_switch_graph.hpp"
+#include "hsg/metrics.hpp"
+
+namespace orp {
+
+/// A batch of primitive mutations describing one local-search move.
+/// Capacities cover the §5 move set (swap: 2+2 edges, swing: 1+1 edges and
+/// one host move); composite operations apply one delta per primitive move.
+struct GraphDelta {
+  struct HostMove {
+    SwitchId from, to;
+  };
+
+  std::pair<SwitchId, SwitchId> added[2];
+  std::pair<SwitchId, SwitchId> removed[2];
+  HostMove host_moves[1];
+  std::uint8_t num_added = 0;
+  std::uint8_t num_removed = 0;
+  std::uint8_t num_host_moves = 0;
+
+  GraphDelta& add_edge(SwitchId a, SwitchId b) {
+    ORP_ASSERT(num_added < 2);
+    added[num_added++] = {a, b};
+    return *this;
+  }
+  GraphDelta& remove_edge(SwitchId a, SwitchId b) {
+    ORP_ASSERT(num_removed < 2);
+    removed[num_removed++] = {a, b};
+    return *this;
+  }
+  GraphDelta& move_host(SwitchId from, SwitchId to) {
+    ORP_ASSERT(num_host_moves < 1);
+    host_moves[num_host_moves++] = {from, to};
+    return *this;
+  }
+
+  /// The delta that undoes this one.
+  GraphDelta inverse() const {
+    GraphDelta inv;
+    for (std::uint8_t i = 0; i < num_removed; ++i)
+      inv.add_edge(removed[i].first, removed[i].second);
+    for (std::uint8_t i = 0; i < num_added; ++i)
+      inv.remove_edge(added[i].first, added[i].second);
+    for (std::uint8_t i = 0; i < num_host_moves; ++i)
+      inv.move_host(host_moves[i].to, host_moves[i].from);
+    return inv;
+  }
+};
+
+struct DeltaEvalOptions {
+  /// Dirty-source count (per removal) above which the dirty rows are
+  /// recomputed with the batched bit-parallel kernel instead of the
+  /// per-source Ramalingam–Reps repair. 0 = always batch.
+  std::uint32_t batch_sources = 16;
+  /// Dirty fraction of all m sources above which apply() abandons
+  /// incremental repair and rebuilds the whole state from scratch.
+  double fallback_fraction = 0.75;
+};
+
+class DeltaHasplEvaluator {
+ public:
+  /// Snapshots `g` (which must be fully attached) and computes the full
+  /// distance matrix. The evaluator keeps its own copy of the switch
+  /// adjacency; `g` is not referenced after construction.
+  explicit DeltaHasplEvaluator(const HostSwitchGraph& g,
+                               DeltaEvalOptions options = {});
+
+  /// Re-synchronizes with `g` and recomputes everything from scratch.
+  /// Drops any pending undo frames.
+  void rebuild(const HostSwitchGraph& g);
+
+  /// Mirrors one move that the caller has (already) applied to its graph
+  /// and returns the metrics of the new state. To reject the move, either
+  /// call revert_last() (cheap: replays the undo log) or apply
+  /// `delta.inverse()` (a full inverse repair).
+  HostMetrics apply(const GraphDelta& delta);
+
+  /// Exactly undoes the most recent un-reverted apply(). Applies nest:
+  /// after apply(a); apply(b); two revert_last() calls undo b then a. The
+  /// undo stack keeps the 4 most recent frames (accepted moves leave theirs
+  /// behind; older ones are forgotten). `restored` must be the graph as it
+  /// was before that apply (the caller reverts its graph first); it is only
+  /// consulted when the apply being undone fell back to a full rebuild.
+  void revert_last(const HostSwitchGraph& restored);
+
+  /// Metrics of the currently mirrored state, assembled in O(m).
+  HostMetrics metrics() const;
+
+  /// Switch-to-switch distance in the mirrored state (kUnreachable when
+  /// disconnected). Exposed for tests.
+  std::uint32_t distance(SwitchId a, SwitchId b) const;
+
+  std::uint32_t num_switches() const noexcept { return m_; }
+
+  /// Cumulative behaviour counters (also exported via obs as
+  /// delta_eval.*); `fallback_rebuilds` counts applies that gave up on
+  /// incremental repair.
+  struct Stats {
+    std::uint64_t applies = 0;
+    std::uint64_t reverts = 0;           ///< revert_last() calls
+    std::uint64_t edge_changes = 0;
+    std::uint64_t dirty_sources = 0;     ///< sources the filters flagged
+    std::uint64_t scalar_repairs = 0;    ///< repaired per-source (RR / cascade)
+    std::uint64_t batched_sources = 0;   ///< repaired via bit-parallel batches
+    std::uint64_t fallback_rebuilds = 0; ///< full from-scratch rebuilds
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  static constexpr std::uint16_t kInf16 = 0xffff;
+
+  std::uint16_t* row(std::uint32_t s) noexcept { return dist_.data() + std::size_t{s} * m_; }
+  const std::uint16_t* row(std::uint32_t s) const noexcept {
+    return dist_.data() + std::size_t{s} * m_;
+  }
+
+  void adj_add(SwitchId a, SwitchId b);
+  void adj_remove(SwitchId a, SwitchId b);
+  // Re-copies adjacency, degrees, and host weights from `g` (same m).
+  void sync_graph(const HostSwitchGraph& g);
+
+  // Writes one distance-matrix entry, recording the old value (and, on the
+  // row's first change this apply, its pre-apply aggregates) in the undo
+  // frame. S_w / unreach_w / row-max are updated in place; a write that may
+  // have lowered the row max queues the row on rescan_rows_ (drained by
+  // apply() before the host moves).
+  void write_entry(std::uint32_t s, std::uint32_t v, std::uint16_t next);
+  // One flat pass refreshing S_w / unreach_w / row-max of row s.
+  void recompute_row_aggregates(std::uint32_t s);
+  // Rescans row s for its max finite weighted distance.
+  void rescan_row_max(std::uint32_t s);
+
+  void apply_edge_addition(SwitchId u, SwitchId v);
+  void apply_edge_removal(SwitchId u, SwitchId v);
+  void apply_host_move(SwitchId from, SwitchId to);
+
+  // Pruned improvement cascade for row s after adding edge (near, far).
+  void repair_addition(std::uint32_t s, SwitchId near, SwitchId far);
+  // Ramalingam–Reps repair for row s after removing an edge whose deeper
+  // endpoint `far` lost its last surviving predecessor.
+  void repair_removal(std::uint32_t s, SwitchId far);
+  // Full scalar BFS for row s (per-source fallback when the affected
+  // region is most of the graph); diffs against the old row.
+  void recompute_row_scalar(std::uint32_t s);
+  // Batched bit-parallel recompute of the given source rows.
+  void recompute_rows_bitparallel(const std::vector<std::uint32_t>& sources);
+  // From-scratch distance matrix + aggregates (constructor / fallback).
+  void rebuild_all_rows();
+  void rebuild_aggregates();
+
+  DeltaEvalOptions options_;
+  std::uint32_t n_ = 0;
+  std::uint32_t m_ = 0;
+
+  // Mirrored switch subgraph: flat adjacency (stride adj_stride_), degrees,
+  // and per-switch host counts.
+  std::uint32_t adj_stride_ = 0;
+  std::vector<SwitchId> adj_;
+  std::vector<std::uint32_t> degree_;
+  std::vector<std::uint32_t> weight_;
+  std::uint32_t weighted_switches_ = 0;
+
+  // Distance matrix and per-row aggregates.
+  std::vector<std::uint16_t> dist_;
+  std::vector<std::uint64_t> sum_w_;
+  std::vector<std::uint64_t> unreach_w_;
+  std::vector<std::uint16_t> row_max_;
+
+  // Repair arenas (reused across applies; no steady-state allocation).
+  std::vector<std::uint32_t> dirty_sources_;
+  std::vector<std::uint32_t> queue_;
+  std::vector<std::uint32_t> affected_;
+  std::vector<std::uint32_t> level_cur_, level_next_;
+  std::vector<std::uint16_t> tentative_;
+  std::vector<std::uint32_t> visit_epoch_;
+  std::uint32_t epoch_ = 0;
+  std::vector<std::vector<std::uint32_t>> buckets_;
+
+  // Bit-parallel batch scratch (64 rows of uint16 + frontier words).
+  std::vector<std::uint16_t> scratch_rows_;
+  std::vector<std::uint64_t> bp_frontier_, bp_next_, bp_reached_;
+
+  // Removal-filter surviving-predecessor masks (one uint16 lane per source)
+  // and the rows whose max may have shrunk during the current apply.
+  std::vector<std::uint16_t> alt_u_, alt_v_;
+  std::vector<std::uint32_t> rescan_rows_;
+  std::vector<std::uint32_t> rescan_epoch_;
+
+  // Undo machinery. Entries pack (s << 32 | v << 16 | old_distance); row
+  // snapshots hold a touched row's pre-apply aggregates. Frames delimit
+  // segments of both logs and stack in apply order.
+  struct RowSnapshot {
+    std::uint32_t row;
+    std::uint64_t sum_w;
+    std::uint64_t unreach_w;
+    std::uint16_t row_max;
+  };
+  struct UndoFrame {
+    std::size_t entries_begin = 0;
+    std::size_t rows_begin = 0;
+    GraphDelta delta;
+    bool was_rebuild = false;
+    // Full row-max snapshot, taken only when a host move crosses zero
+    // hosts on a switch (the one case where reverting a row max is not
+    // arithmetic).
+    bool row_max_snapshot_valid = false;
+    std::vector<std::uint16_t> row_max_snapshot;
+  };
+  std::vector<std::uint64_t> undo_entries_;
+  std::vector<RowSnapshot> undo_rows_;
+  std::vector<UndoFrame> frames_;
+  std::vector<std::uint32_t> row_epoch_;  // == apply_epoch_: touched this apply
+  std::uint32_t apply_epoch_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace orp

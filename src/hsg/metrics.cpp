@@ -160,12 +160,8 @@ ApspResult bitparallel_block(const ApspInput& in, std::size_t begin, std::size_t
   return out;
 }
 
-ApspResult run_apsp(const ApspInput& in, AsplKernel kernel, ThreadPool* pool) {
+ApspResult run_apsp(const ApspInput& in, bool use_bits, ThreadPool* pool) {
   const std::uint32_t m = in.g->num_switches();
-  const bool use_bits =
-      kernel == AsplKernel::kBitParallel ||
-      (kernel == AsplKernel::kAuto && m >= 64 && in.sources.size() >= 64);
-
   KernelInstruments& instruments = kernel_instruments(use_bits);
   instruments.calls.inc();
   obs::ScopedTimer timer(instruments.latency_ns);
@@ -202,10 +198,8 @@ ApspResult run_apsp(const ApspInput& in, AsplKernel kernel, ThreadPool* pool) {
   return total;
 }
 
-}  // namespace
-
-HostMetrics compute_host_metrics(const HostSwitchGraph& g, AsplKernel kernel,
-                                 ThreadPool* pool) {
+HostMetrics host_metrics_impl(const HostSwitchGraph& g, bool use_bits,
+                              ThreadPool* pool) {
   ORP_REQUIRE(g.fully_attached(), "metrics need every host attached to a switch");
   const std::uint64_t n = g.num_hosts();
   HostMetrics result;
@@ -221,7 +215,7 @@ HostMetrics compute_host_metrics(const HostSwitchGraph& g, AsplKernel kernel,
   }
   in.total_weight = n;
 
-  const ApspResult apsp = run_apsp(in, kernel, pool);
+  const ApspResult apsp = run_apsp(in, use_bits, pool);
   const std::uint64_t pairs = n * (n - 1) / 2;
   if (!apsp.all_reached) {
     result.connected = false;
@@ -236,8 +230,8 @@ HostMetrics compute_host_metrics(const HostSwitchGraph& g, AsplKernel kernel,
   return result;
 }
 
-SwitchMetrics compute_switch_metrics(const HostSwitchGraph& g, AsplKernel kernel,
-                                     ThreadPool* pool) {
+SwitchMetrics switch_metrics_impl(const HostSwitchGraph& g, bool use_bits,
+                                  ThreadPool* pool) {
   const std::uint64_t m = g.num_switches();
   SwitchMetrics result;
   if (m < 2) return result;
@@ -250,7 +244,7 @@ SwitchMetrics compute_switch_metrics(const HostSwitchGraph& g, AsplKernel kernel
   for (SwitchId s = 0; s < g.num_switches(); ++s) in.sources[s] = s;
   in.total_weight = m;
 
-  const ApspResult apsp = run_apsp(in, kernel, pool);
+  const ApspResult apsp = run_apsp(in, use_bits, pool);
   const std::uint64_t pairs = m * (m - 1) / 2;
   if (!apsp.all_reached) {
     result.connected = false;
@@ -263,5 +257,33 @@ SwitchMetrics compute_switch_metrics(const HostSwitchGraph& g, AsplKernel kernel
   result.diameter = apsp.max_dist;
   return result;
 }
+
+}  // namespace
+
+// Both public kernel choices resolve to the bit-parallel path; the scalar
+// reference is only reachable through detail:: (test suite + microbench).
+HostMetrics compute_host_metrics(const HostSwitchGraph& g, AsplKernel /*kernel*/,
+                                 ThreadPool* pool) {
+  return host_metrics_impl(g, /*use_bits=*/true, pool);
+}
+
+SwitchMetrics compute_switch_metrics(const HostSwitchGraph& g,
+                                     AsplKernel /*kernel*/, ThreadPool* pool) {
+  return switch_metrics_impl(g, /*use_bits=*/true, pool);
+}
+
+namespace detail {
+
+HostMetrics compute_host_metrics_scalar(const HostSwitchGraph& g,
+                                        ThreadPool* pool) {
+  return host_metrics_impl(g, /*use_bits=*/false, pool);
+}
+
+SwitchMetrics compute_switch_metrics_scalar(const HostSwitchGraph& g,
+                                            ThreadPool* pool) {
+  return switch_metrics_impl(g, /*use_bits=*/false, pool);
+}
+
+}  // namespace detail
 
 }  // namespace orp

@@ -10,13 +10,13 @@
 //
 //   sum over host pairs = (1/2) * sum_{s,t} k_s k_t d(s,t)  +  2 * C(n,2)
 //
-// Two interchangeable kernels compute the weighted APSP:
-//  * kScalarBfs  — one BFS per host-bearing switch; the obviously-correct
-//    reference.
-//  * kBitParallel — 64 BFS sources per machine word (frontier/visited are
-//    bitmasks per vertex), the standard Graph-Golf trick; ~10-40x faster
-//    and bit-identical to the reference (asserted by tests).
-// Both kernels parallelize over source blocks with the shared thread pool.
+// The weighted APSP runs on the bit-parallel kernel: 64 BFS sources per
+// machine word (frontier/visited are bitmasks per vertex), the standard
+// Graph-Golf trick, parallelized over source blocks with the shared thread
+// pool. A scalar one-BFS-per-source reference survives as
+// detail::compute_*_metrics_scalar, reachable only by the test suite
+// (tests/hsg_metrics_test.cpp cross-checks the kernels bit for bit);
+// every production consumer goes through the bit-parallel path.
 
 #include <cstdint>
 #include <limits>
@@ -28,8 +28,7 @@ namespace orp {
 class ThreadPool;
 
 enum class AsplKernel {
-  kAuto,        ///< bit-parallel for m >= 64, scalar otherwise
-  kScalarBfs,   ///< per-source scalar BFS
+  kAuto,        ///< resolves to bit-parallel (kept for call-site stability)
   kBitParallel  ///< 64-sources-per-word level-synchronous BFS
 };
 
@@ -69,5 +68,18 @@ HostMetrics compute_host_metrics(const HostSwitchGraph& g,
 SwitchMetrics compute_switch_metrics(const HostSwitchGraph& g,
                                      AsplKernel kernel = AsplKernel::kAuto,
                                      ThreadPool* pool = nullptr);
+
+namespace detail {
+
+/// Scalar reference kernels (one plain BFS per source), kept ONLY so the
+/// test suite can cross-check the bit-parallel kernel and the microbench
+/// can quantify its speedup. Deliberately unreachable via AsplKernel: no
+/// production consumer may select the scalar path.
+HostMetrics compute_host_metrics_scalar(const HostSwitchGraph& g,
+                                        ThreadPool* pool = nullptr);
+SwitchMetrics compute_switch_metrics_scalar(const HostSwitchGraph& g,
+                                            ThreadPool* pool = nullptr);
+
+}  // namespace detail
 
 }  // namespace orp

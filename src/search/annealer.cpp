@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <stdexcept>
+#include <string>
 
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
@@ -75,6 +78,13 @@ void sync_swing(EdgeList& edges, const SwingMove& m) {
 
 }  // namespace
 
+EvalStrategy parse_eval_strategy(std::string_view name) {
+  if (name == "full") return EvalStrategy::kFull;
+  if (name == "delta") return EvalStrategy::kDelta;
+  throw std::invalid_argument("unknown eval strategy '" + std::string(name) +
+                              "' (expected full or delta)");
+}
+
 AnnealResult anneal(const HostSwitchGraph& initial, const AnnealOptions& options) {
   ORP_REQUIRE(initial.fully_attached(), "anneal needs every host attached");
   ORP_REQUIRE(options.iterations > 0, "need at least one iteration");
@@ -98,6 +108,25 @@ AnnealResult anneal(const HostSwitchGraph& initial, const AnnealOptions& options
 
   HostMetrics current_metrics = evaluate(current);
   ORP_REQUIRE(current_metrics.connected, "anneal needs a connected initial solution");
+
+  // Incremental h-ASPL evaluation (the default): the evaluator mirrors
+  // `current` and repairs its distance state per move. It is exact, so the
+  // search trajectory is bit-identical to --eval full (the calibration
+  // probes below stay on full compute in both modes for the same reason).
+  std::optional<DeltaHasplEvaluator> delta_eval;
+  if (options.eval == EvalStrategy::kDelta) delta_eval.emplace(current);
+
+  auto evaluate_move = [&](const GraphDelta& delta) {
+    obs::ScopedTimer timer(instruments.eval_ns);
+    if (delta_eval) return delta_eval->apply(delta);
+    return compute_host_metrics(current, options.kernel, options.pool);
+  };
+  // Called after `current` has been restored: rejecting a move replays
+  // the evaluator's undo log (revert_last), which is much cheaper than an
+  // inverse repair. Frames nest, covering the 2-neighbor completion chain.
+  auto revert_move = [&]() {
+    if (delta_eval) delta_eval->revert_last(current);
+  };
 
   AnnealResult result{current, current_metrics, 0, 0, {}};
   result.evaluations = 1;
@@ -224,8 +253,9 @@ AnnealResult anneal(const HostSwitchGraph& initial, const AnnealOptions& options
     if (options.mode == MoveMode::kSwap) {
       const auto move = propose_swap(current, edges, rng);
       if (!move) continue;
+      const GraphDelta delta = delta_of(*move);
       apply_swap(current, *move);
-      const HostMetrics cand = evaluate(current);
+      const HostMetrics cand = evaluate_move(delta);
       ++result.evaluations;
       if (accepts(cand)) {
         sync_swap(edges, *move);
@@ -234,6 +264,7 @@ AnnealResult anneal(const HostSwitchGraph& initial, const AnnealOptions& options
         ++window_accepted;
       } else {
         apply_swap(current, move->inverse());
+        revert_move();
         instruments.restored.inc();
       }
       continue;
@@ -242,8 +273,9 @@ AnnealResult anneal(const HostSwitchGraph& initial, const AnnealOptions& options
     // kSwing and kTwoNeighborSwing both start with a swing proposal.
     const auto first = propose_swing(current, edges, rng);
     if (!first) continue;
+    const GraphDelta first_delta = delta_of(*first);
     apply_swing(current, *first);
-    const HostMetrics one_neighbor = evaluate(current);
+    const HostMetrics one_neighbor = evaluate_move(first_delta);
     ++result.evaluations;
     if (accepts(one_neighbor)) {
       sync_swing(edges, *first);
@@ -254,6 +286,7 @@ AnnealResult anneal(const HostSwitchGraph& initial, const AnnealOptions& options
     }
     if (options.mode == MoveMode::kSwing) {
       apply_swing(current, first->inverse());
+      revert_move();
       instruments.restored.inc();
       continue;
     }
@@ -261,8 +294,9 @@ AnnealResult anneal(const HostSwitchGraph& initial, const AnnealOptions& options
     // 2-neighbor completion: try the swing that turns the pair into a swap.
     const auto completion = propose_completion_swing(current, *first, rng);
     if (completion) {
+      const GraphDelta completion_delta = delta_of(*completion);
       apply_swing(current, *completion);
-      const HostMetrics two_neighbor = evaluate(current);
+      const HostMetrics two_neighbor = evaluate_move(completion_delta);
       ++result.evaluations;
       if (accepts(two_neighbor)) {
         sync_swing(edges, *first);
@@ -273,8 +307,10 @@ AnnealResult anneal(const HostSwitchGraph& initial, const AnnealOptions& options
         continue;
       }
       apply_swing(current, completion->inverse());
+      revert_move();
     }
     apply_swing(current, first->inverse());
+    revert_move();
     instruments.restored.inc();
   }
   emit_window();

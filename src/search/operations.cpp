@@ -17,6 +17,23 @@ void apply_swap(HostSwitchGraph& g, const SwapMove& move) {
   g.add_switch_edge(move.b, move.d);
 }
 
+GraphDelta delta_of(const SwapMove& move) {
+  GraphDelta delta;
+  delta.remove_edge(move.a, move.b);
+  delta.remove_edge(move.c, move.d);
+  delta.add_edge(move.a, move.c);
+  delta.add_edge(move.b, move.d);
+  return delta;
+}
+
+GraphDelta delta_of(const SwingMove& move) {
+  GraphDelta delta;
+  delta.remove_edge(move.a, move.b);
+  delta.move_host(move.c, move.b);
+  delta.add_edge(move.a, move.c);
+  return delta;
+}
+
 bool swing_valid(const HostSwitchGraph& g, const SwingMove& move) {
   const SwitchId a = move.a, b = move.b, c = move.c;
   if (a == c || b == c) return false;

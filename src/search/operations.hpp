@@ -16,6 +16,7 @@
 #include <optional>
 
 #include "common/prng.hpp"
+#include "hsg/delta_metrics.hpp"
 #include "hsg/host_switch_graph.hpp"
 
 namespace orp {
@@ -32,6 +33,11 @@ struct SwingMove {
   HostId h;
   SwingMove inverse() const noexcept { return {a, c, b, h}; }
 };
+
+/// Edge-diff views of the moves for the incremental evaluator: the exact
+/// primitive changes apply_swap / apply_swing perform, in the same order.
+GraphDelta delta_of(const SwapMove& move);
+GraphDelta delta_of(const SwingMove& move);
 
 /// True when the move's preconditions hold on `g` (edges present, no
 /// duplicate/self edges created, port budgets respected).

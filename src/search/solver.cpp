@@ -73,6 +73,7 @@ SolveResult solve_orp(std::uint32_t n, std::uint32_t r, const SolveOptions& opti
     anneal_options.iterations = options.iterations;
     anneal_options.seed = rng();
     anneal_options.mode = options.mode;
+    anneal_options.eval = options.eval;
     anneal_options.kernel = options.kernel;
     anneal_options.pool = (options.pool && restarts > 1) ? nullptr : options.pool;
     anneal_options.trace_every = options.trace_every;

@@ -27,6 +27,9 @@ struct SolveOptions {
   int restarts = 1;                   ///< independent SA runs; best kept
   std::uint64_t seed = 1;
   MoveMode mode = MoveMode::kTwoNeighborSwing;
+  /// Escape hatch for the incremental evaluator (--eval full in the bench
+  /// binaries); kDelta is exact and the default.
+  EvalStrategy eval = EvalStrategy::kDelta;
   AsplKernel kernel = AsplKernel::kAuto;
   ThreadPool* pool = nullptr;
   std::optional<std::uint32_t> force_switch_count;

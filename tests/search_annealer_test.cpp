@@ -58,6 +58,47 @@ TEST(Annealer, DeterministicForEqualSeeds) {
   EXPECT_EQ(res_a.evaluations, res_b.evaluations);
 }
 
+// The "bit-identical trajectory" guarantee: because the incremental
+// evaluator returns exactly the integers full recompute would, the same
+// seed must produce the same accept/reject sequence, the same trace, and
+// the same final graph under both strategies — for every move mode.
+TEST(Annealer, FullAndDeltaAgree) {
+  for (const MoveMode mode :
+       {MoveMode::kSwap, MoveMode::kSwing, MoveMode::kTwoNeighborSwing}) {
+    Xoshiro256 rng_full(21), rng_delta(21);
+    const auto init_full = random_host_switch_graph(96, 24, 8, rng_full);
+    const auto init_delta = random_host_switch_graph(96, 24, 8, rng_delta);
+    ASSERT_TRUE(init_full == init_delta);
+
+    auto options = quick(mode, 1200, 33);
+    options.trace_every = 1;  // compare the walk step by step
+    options.eval = EvalStrategy::kFull;
+    const auto full = anneal(init_full, options);
+    options.eval = EvalStrategy::kDelta;
+    const auto delta = anneal(init_delta, options);
+
+    EXPECT_EQ(full.accepted, delta.accepted);
+    EXPECT_EQ(full.evaluations, delta.evaluations);
+    EXPECT_TRUE(full.best == delta.best);
+    EXPECT_EQ(full.best_metrics.total_length, delta.best_metrics.total_length);
+    EXPECT_EQ(full.best_metrics.diameter, delta.best_metrics.diameter);
+    EXPECT_DOUBLE_EQ(full.best_metrics.h_aspl, delta.best_metrics.h_aspl);
+    ASSERT_EQ(full.trace.size(), delta.trace.size());
+    for (std::size_t i = 0; i < full.trace.size(); ++i) {
+      EXPECT_EQ(full.trace[i].iteration, delta.trace[i].iteration);
+      EXPECT_DOUBLE_EQ(full.trace[i].current_haspl, delta.trace[i].current_haspl);
+      EXPECT_DOUBLE_EQ(full.trace[i].best_haspl, delta.trace[i].best_haspl);
+      EXPECT_DOUBLE_EQ(full.trace[i].temperature, delta.trace[i].temperature);
+    }
+  }
+}
+
+TEST(Annealer, ParsesEvalStrategyNames) {
+  EXPECT_EQ(parse_eval_strategy("full"), EvalStrategy::kFull);
+  EXPECT_EQ(parse_eval_strategy("delta"), EvalStrategy::kDelta);
+  EXPECT_THROW(parse_eval_strategy("fast"), std::invalid_argument);
+}
+
 TEST(Annealer, SwapModePreservesHostDistribution) {
   Xoshiro256 rng(5);
   const auto initial = random_regular_host_switch_graph(96, 24, 8, rng);
