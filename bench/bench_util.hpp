@@ -14,6 +14,7 @@
 #include <string>
 
 #include "common/cli.hpp"
+#include "common/shutdown.hpp"
 #include "common/table.hpp"
 #include "obs/sink.hpp"
 #include "search/solver.hpp"
@@ -71,6 +72,9 @@ inline void print_header(const std::string& title) {
 /// funnels through this so the options exist uniformly. Returns false on
 /// --help (caller exits 0); throws std::invalid_argument like cli.parse.
 inline bool parse_cli_with_obs(CliParser& cli, int argc, const char* const* argv) {
+  // Ctrl-C / SIGTERM wind the SA search down gracefully (best-so-far is
+  // kept) instead of killing the bench mid-run.
+  install_shutdown_handlers();
   obs::add_cli_options(cli);
   cli.option("eval", "delta",
              "h-ASPL evaluation in SA: delta (incremental) or full "

@@ -11,6 +11,8 @@
 //   sim        — Machine fluid-engine communication phases (collectives)
 //   partition  — multilevel partitioner stages: coarsening, FM refinement,
 //                and the end-to-end k-way host+switch cut
+//   fault      — resilience subsystem: seeded fault draws, degraded-graph
+//                construction, and the full degraded h-ASPL evaluation
 //
 // `--quick` runs the CI-gated subset (small sizes, fewer repetitions);
 // the full suite adds larger instances for local optimization work.
@@ -23,6 +25,8 @@
 #include <string_view>
 
 #include "bench_util.hpp"
+#include "fault/degraded.hpp"
+#include "fault/model.hpp"
 #include "hsg/bounds.hpp"
 #include "obs/bench/microbench.hpp"
 #include "partition/coarsen.hpp"
@@ -317,6 +321,70 @@ void register_partition(BenchRegistry& registry) {
   }
 }
 
+void register_fault(BenchRegistry& registry) {
+  // Ops rotate the spec seed so every draw/apply/eval sees a fresh fault
+  // pattern (same mix the Monte-Carlo sweep produces) instead of a
+  // memorized one.
+  auto rotating_spec = [](std::shared_ptr<std::uint64_t> counter) {
+    FaultSpec spec;
+    spec.link_failure_rate = 0.05;
+    spec.switch_failure_rate = 0.02;
+    spec.cabinet_outage_rate = 0.02;
+    spec.switches_per_cabinet = 4;
+    spec.seed = ++*counter;
+    return spec;
+  };
+  struct Config {
+    std::uint32_t n, r;
+    bool quick;
+  };
+  for (const Config& c : {Config{256, 12, true}, Config{1024, 24, false}}) {
+    const std::string size =
+        ".n" + std::to_string(c.n) + "_r" + std::to_string(c.r);
+    registry.add({
+        "fault.draw" + size,
+        "fault",
+        [c, rotating_spec]() -> BenchOp {
+          auto graph = std::make_shared<HostSwitchGraph>(setup_graph(c.n, c.r));
+          auto counter = std::make_shared<std::uint64_t>(kSetupSeed);
+          return [graph, counter, rotating_spec] {
+            const FaultSet faults = draw_faults(*graph, rotating_spec(counter));
+            do_not_optimize(faults.fingerprint());
+          };
+        },
+        c.quick,
+    });
+    registry.add({
+        "fault.apply" + size,
+        "fault",
+        [c, rotating_spec]() -> BenchOp {
+          auto graph = std::make_shared<HostSwitchGraph>(setup_graph(c.n, c.r));
+          auto counter = std::make_shared<std::uint64_t>(kSetupSeed);
+          return [graph, counter, rotating_spec] {
+            const DegradedGraph degraded =
+                apply_faults(*graph, draw_faults(*graph, rotating_spec(counter)));
+            do_not_optimize(degraded.removed_links);
+          };
+        },
+        c.quick,
+    });
+    registry.add({
+        "fault.degraded_eval" + size,
+        "fault",
+        [c, rotating_spec]() -> BenchOp {
+          auto graph = std::make_shared<HostSwitchGraph>(setup_graph(c.n, c.r));
+          auto counter = std::make_shared<std::uint64_t>(kSetupSeed);
+          return [graph, counter, rotating_spec] {
+            const ResilienceReport report = evaluate_degraded(
+                *graph, draw_faults(*graph, rotating_spec(counter)));
+            do_not_optimize(report.connected_pairs);
+          };
+        },
+        c.quick,
+    });
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -340,6 +408,7 @@ int main(int argc, char** argv) {
   register_search_delta(registry);
   register_sim(registry);
   register_partition(registry);
+  register_fault(registry);
 
   RunOptions options;
   options.quick = cli.has("quick");

@@ -1,0 +1,38 @@
+#include "common/shutdown.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace orp {
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "signal handler needs a lock-free flag");
+
+extern "C" void orp_shutdown_signal_handler(int) {
+  g_shutdown.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void install_shutdown_handlers() {
+  // std::signal with BSD semantics on Linux/glibc: the handler persists and
+  // interrupted syscalls restart, which is what a flag-setting handler wants.
+  std::signal(SIGINT, orp_shutdown_signal_handler);
+  std::signal(SIGTERM, orp_shutdown_signal_handler);
+}
+
+bool shutdown_requested() noexcept {
+  return g_shutdown.load(std::memory_order_relaxed);
+}
+
+void request_shutdown() noexcept {
+  g_shutdown.store(true, std::memory_order_relaxed);
+}
+
+void reset_shutdown() noexcept {
+  g_shutdown.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace orp

@@ -1,0 +1,30 @@
+#pragma once
+// Cooperative graceful shutdown.
+//
+// install_shutdown_handlers() arms SIGINT/SIGTERM handlers that set a
+// process-wide flag; long-running loops (the annealer's iteration loop,
+// the solver's restart loop) poll shutdown_requested() and wind down,
+// returning the best solution found so far instead of dying mid-search.
+// The handler only sets an atomic flag, so it is async-signal-safe.
+//
+// request_shutdown()/reset_shutdown() exist so tests (and embedding code
+// that has its own signal strategy) can drive the flag directly.
+
+namespace orp {
+
+/// Arms SIGINT and SIGTERM to request a cooperative shutdown. Idempotent;
+/// safe to call from multiple binaries' main().
+void install_shutdown_handlers();
+
+/// True once a shutdown was requested (signal received or
+/// request_shutdown() called). A relaxed atomic load — cheap enough for
+/// per-iteration polling in hot loops.
+bool shutdown_requested() noexcept;
+
+/// Sets the flag as if a signal had arrived.
+void request_shutdown() noexcept;
+
+/// Clears the flag (tests; long-lived processes reusing the search).
+void reset_shutdown() noexcept;
+
+}  // namespace orp

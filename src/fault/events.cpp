@@ -1,0 +1,36 @@
+#include "fault/events.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/prng.hpp"
+#include "common/require.hpp"
+
+namespace orp {
+
+std::vector<FaultEvent> schedule_fault_events(const FaultSet& faults,
+                                              double start, double window,
+                                              std::uint64_t seed) {
+  ORP_REQUIRE(std::isfinite(start) && start >= 0.0,
+              "schedule start must be finite and non-negative");
+  ORP_REQUIRE(std::isfinite(window) && window >= 0.0,
+              "schedule window must be finite and non-negative");
+
+  Xoshiro256 rng(seed ^ 0x7363686564756c65ULL);
+  std::vector<FaultEvent> events;
+  events.reserve(faults.failed_links.size() + faults.failed_switches.size());
+  for (const auto& [a, b] : faults.failed_links) {
+    events.push_back(
+        {start + rng.uniform() * window, FaultEvent::Kind::kLinkDown, a, b});
+  }
+  for (const SwitchId s : faults.failed_switches) {
+    events.push_back(
+        {start + rng.uniform() * window, FaultEvent::Kind::kSwitchDown, s, 0});
+  }
+  std::stable_sort(
+      events.begin(), events.end(),
+      [](const FaultEvent& x, const FaultEvent& y) { return x.time < y.time; });
+  return events;
+}
+
+}  // namespace orp

@@ -1,0 +1,24 @@
+#pragma once
+// Turns a drawn FaultSet into a timed event schedule for the simulator.
+//
+// The draw (which elements fail) and the schedule (when they fail) use
+// independent seeds, so the same fault set can strike at different times
+// across experiments while staying bit-reproducible: identical
+// (fault set, start, window, seed) yields an identical schedule.
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/model.hpp"
+#include "sim/fault.hpp"
+
+namespace orp {
+
+/// Spreads the fault set over [start, start + window): every failed link
+/// and every failed switch gets a deterministic uniform timestamp. Events
+/// return sorted by time; window == 0 makes them all strike at `start`.
+std::vector<FaultEvent> schedule_fault_events(const FaultSet& faults,
+                                              double start, double window,
+                                              std::uint64_t seed);
+
+}  // namespace orp

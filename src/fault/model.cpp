@@ -1,0 +1,104 @@
+#include "fault/model.hpp"
+
+#include <algorithm>
+
+#include "common/prng.hpp"
+#include "common/require.hpp"
+
+namespace orp {
+namespace {
+
+// Distinct constants XORed into the seed give each category an independent
+// stream: adding a cabinet outage never perturbs which links fail.
+constexpr std::uint64_t kLinkStream = 0x6c696e6b73747265ULL;
+constexpr std::uint64_t kSwitchStream = 0x7377697463687374ULL;
+constexpr std::uint64_t kCabinetStream = 0x636162696e657473ULL;
+
+void require_rate(double rate, const char* what) {
+  ORP_REQUIRE(rate >= 0.0 && rate <= 1.0, what);
+}
+
+}  // namespace
+
+std::uint64_t FaultSet::fingerprint() const noexcept {
+  std::uint64_t state = 0x8f1bbcdc5b9cca5fULL;
+  auto mix = [&state](std::uint64_t v) {
+    state ^= v;
+    (void)splitmix64_next(state);
+  };
+  mix(failed_links.size());
+  for (const auto& [a, b] : failed_links) {
+    mix((std::uint64_t{a} << 32) | b);
+  }
+  mix(failed_switches.size());
+  for (const SwitchId s : failed_switches) mix(s);
+  mix(failed_cabinets.size());
+  for (const std::uint32_t c : failed_cabinets) mix(c);
+  return state;
+}
+
+std::uint32_t num_cabinets(const HostSwitchGraph& g, const FaultSpec& spec) {
+  const std::uint32_t per = spec.switches_per_cabinet ? spec.switches_per_cabinet : 1;
+  return (g.num_switches() + per - 1) / per;
+}
+
+FaultSet draw_faults(const HostSwitchGraph& g, const FaultSpec& spec) {
+  require_rate(spec.link_failure_rate, "link failure rate must be in [0,1]");
+  require_rate(spec.switch_failure_rate, "switch failure rate must be in [0,1]");
+  require_rate(spec.cabinet_outage_rate, "cabinet outage rate must be in [0,1]");
+
+  FaultSet out;
+  const std::uint32_t m = g.num_switches();
+
+  // Canonical edge order (ascending a, then ascending b) decouples the draw
+  // from the graph's internal adjacency ordering.
+  if (spec.link_failure_rate > 0.0) {
+    Xoshiro256 rng(spec.seed ^ kLinkStream);
+    std::vector<SwitchId> nbrs;
+    for (SwitchId a = 0; a < m; ++a) {
+      const auto span = g.neighbors(a);
+      nbrs.assign(span.begin(), span.end());
+      std::sort(nbrs.begin(), nbrs.end());
+      for (const SwitchId b : nbrs) {
+        if (b <= a) continue;
+        if (rng.bernoulli(spec.link_failure_rate)) {
+          out.failed_links.emplace_back(a, b);
+        }
+      }
+    }
+  }
+
+  if (spec.switch_failure_rate > 0.0) {
+    Xoshiro256 rng(spec.seed ^ kSwitchStream);
+    for (SwitchId s = 0; s < m; ++s) {
+      if (rng.bernoulli(spec.switch_failure_rate)) {
+        out.failed_switches.push_back(s);
+      }
+    }
+  }
+
+  if (spec.cabinet_outage_rate > 0.0) {
+    Xoshiro256 rng(spec.seed ^ kCabinetStream);
+    const std::uint32_t cabinets = num_cabinets(g, spec);
+    const std::uint32_t per =
+        spec.switches_per_cabinet ? spec.switches_per_cabinet : 1;
+    for (std::uint32_t c = 0; c < cabinets; ++c) {
+      if (!rng.bernoulli(spec.cabinet_outage_rate)) continue;
+      out.failed_cabinets.push_back(c);
+      const SwitchId first = c * per;
+      const SwitchId last = std::min(m, first + per);
+      for (SwitchId s = first; s < last; ++s) {
+        out.failed_switches.push_back(s);
+      }
+    }
+  }
+
+  std::sort(out.failed_switches.begin(), out.failed_switches.end());
+  out.failed_switches.erase(
+      std::unique(out.failed_switches.begin(), out.failed_switches.end()),
+      out.failed_switches.end());
+  // Links already come out sorted by construction order.
+  return out;
+}
+
+}  // namespace orp

@@ -1,0 +1,72 @@
+#pragma once
+// Deterministic seeded fault models for host-switch graphs.
+//
+// Three failure categories, mirroring how production interconnects break:
+//   - link failures: each switch-switch cable fails i.i.d. (flapping or
+//     severed cables, the dominant failure mode);
+//   - switch failures: each switch fails i.i.d. (firmware wedge, PSU);
+//   - cabinet outages: each cabinet fails i.i.d. and takes every switch it
+//     houses down with it (rack PDU / breaker loss). Cabinet membership
+//     follows the src/cost floorplan: cabinets are laid out row-major with
+//     consecutive switch ids per cabinet, so a cabinet outage is a
+//     *spatially correlated* fault under the physical layout.
+//
+// Determinism contract (see docs/resilience.md): draw_faults consumes one
+// independent PRNG sub-stream per category, each derived from the spec's
+// seed, and iterates links/switches/cabinets in canonical ascending order.
+// Identical (graph, spec) therefore yields a bit-identical FaultSet — on
+// any platform, regardless of how the graph's adjacency lists are ordered
+// internally — which `FaultSet::fingerprint()` makes easy to assert.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "hsg/host_switch_graph.hpp"
+
+namespace orp {
+
+/// Parameters of one random fault draw. Rates are per-element failure
+/// probabilities in [0, 1]; a default-constructed spec draws no faults.
+struct FaultSpec {
+  double link_failure_rate = 0.0;    ///< per switch-switch cable
+  double switch_failure_rate = 0.0;  ///< per switch
+  double cabinet_outage_rate = 0.0;  ///< per cabinet (kills its switches)
+  /// Consecutive switch ids housed per cabinet. The cost floorplan puts one
+  /// switch per cabinet; values > 1 model denser racking (and make cabinet
+  /// outages correlated multi-switch events). 0 is treated as 1.
+  std::uint32_t switches_per_cabinet = 1;
+  std::uint64_t seed = 1;
+};
+
+/// One concrete fault draw. All vectors are sorted ascending (links as
+/// a < b pairs) and deduplicated; `failed_switches` already includes every
+/// switch of each failed cabinet.
+struct FaultSet {
+  std::vector<std::pair<SwitchId, SwitchId>> failed_links;
+  std::vector<SwitchId> failed_switches;
+  std::vector<std::uint32_t> failed_cabinets;
+
+  bool empty() const noexcept {
+    return failed_links.empty() && failed_switches.empty();
+  }
+
+  /// Order-sensitive 64-bit digest of the full fault set; equal sets have
+  /// equal fingerprints, and the determinism tests pin exact values.
+  std::uint64_t fingerprint() const noexcept;
+};
+
+/// Cabinet housing switch `s` under the spec's racking density.
+inline std::uint32_t cabinet_of_switch(SwitchId s, const FaultSpec& spec) {
+  const std::uint32_t per = spec.switches_per_cabinet ? spec.switches_per_cabinet : 1;
+  return s / per;
+}
+
+/// Number of cabinets the graph occupies under the spec's racking density.
+std::uint32_t num_cabinets(const HostSwitchGraph& g, const FaultSpec& spec);
+
+/// Draws a fault set for `g`. Deterministic in (g's topology, spec); see
+/// the contract above. Rates must be within [0, 1].
+FaultSet draw_faults(const HostSwitchGraph& g, const FaultSpec& spec);
+
+}  // namespace orp

@@ -94,6 +94,18 @@ void DeltaHasplEvaluator::rebuild(const HostSwitchGraph& g) {
 
   rebuild_all_rows();
   rebuild_aggregates();
+
+  // A disconnected snapshot is rejected outright: the incremental repair
+  // invariants assume the mirrored baseline has every host pair reachable
+  // (the annealer establishes this before constructing the evaluator), and
+  // silently seeding the mirror from a split graph would corrupt every
+  // subsequent delta. Transient disconnection via apply() stays supported —
+  // that is the annealer's reject path.
+  for (std::uint32_t s = 0; s < m_; ++s) {
+    ORP_REQUIRE(weight_[s] == 0 || unreach_w_[s] == 0,
+                "delta evaluator needs a connected initial solution "
+                "(some host pair is unreachable in the snapshot)");
+  }
 }
 
 void DeltaHasplEvaluator::sync_graph(const HostSwitchGraph& g) {
@@ -716,26 +728,32 @@ void DeltaHasplEvaluator::revert_last(const HostSwitchGraph& restored) {
 }
 
 HostMetrics DeltaHasplEvaluator::metrics() const {
+  // Mirrors compute_host_metrics' connected-pairs semantics bit for bit
+  // (asserted by the differential tests): scalars over the connected pairs,
+  // split pairs surfaced in unreachable_pairs.
   HostMetrics result;
   if (n_ < 2) return result;
   const std::uint64_t pairs = std::uint64_t{n_} * (n_ - 1) / 2;
   std::uint64_t ordered = 0;
+  std::uint64_t unreached_ordered = 0;
   std::uint16_t max_d = 0;
   for (std::uint32_t s = 0; s < m_; ++s) {
     if (!weight_[s]) continue;
-    if (unreach_w_[s]) {
-      result.connected = false;
-      result.h_aspl = std::numeric_limits<double>::infinity();
-      result.diameter = HostMetrics::kUnreachable;
-      result.total_length = 0;
-      return result;
-    }
+    unreached_ordered += std::uint64_t{weight_[s]} * unreach_w_[s];
     ordered += std::uint64_t{weight_[s]} * sum_w_[s];
     max_d = std::max(max_d, row_max_[s]);
   }
-  result.total_length = ordered / 2 + 2 * pairs;
-  result.h_aspl =
-      static_cast<double>(result.total_length) / static_cast<double>(pairs);
+  result.unreachable_pairs = unreached_ordered / 2;
+  result.connected_pairs = pairs - result.unreachable_pairs;
+  result.connected = result.unreachable_pairs == 0;
+  if (result.connected_pairs == 0) {
+    result.h_aspl = std::numeric_limits<double>::infinity();
+    result.diameter = HostMetrics::kUnreachable;
+    return result;
+  }
+  result.total_length = ordered / 2 + 2 * result.connected_pairs;
+  result.h_aspl = static_cast<double>(result.total_length) /
+                  static_cast<double>(result.connected_pairs);
   result.diameter = std::uint32_t{max_d} + 2;
   return result;
 }

@@ -35,13 +35,15 @@ KernelInstruments& kernel_instruments(bool use_bits) {
 // 1 for switch metrics), and the source list (switches with w > 0 for host
 // metrics, all switches for switch metrics).
 //
-// Output per run: ordered_sum = sum over sources s of w_s * sum_v w_v d(s,v),
-// max_dist = max d(s,v) over sources s and weighted (or all) targets v, and
-// whether every source reached total weight W.
+// Output per run: ordered_sum = sum over sources s of w_s * sum_v w_v d(s,v)
+// over the *reached* targets, max_dist = max d(s,v) over sources s and
+// reached weighted (or all) targets v, and unreached_ordered = sum over
+// sources s of w_s * (W - reached_weight(s)) — the weighted ordered pair
+// count with no path (0 on a connected graph).
 struct ApspResult {
   std::uint64_t ordered_sum = 0;
   std::uint32_t max_dist = 0;
-  bool all_reached = true;
+  std::uint64_t unreached_ordered = 0;
 };
 
 struct ApspInput {
@@ -87,7 +89,8 @@ ApspResult scalar_block(const ApspInput& in, std::size_t begin, std::size_t end,
       }
     }
     out.ordered_sum += static_cast<std::uint64_t>(in.weights[src]) * sum;
-    if (reached_weight != in.total_weight) out.all_reached = false;
+    out.unreached_ordered += static_cast<std::uint64_t>(in.weights[src]) *
+                             (in.total_weight - reached_weight);
   }
   return out;
 }
@@ -152,7 +155,8 @@ ApspResult bitparallel_block(const ApspInput& in, std::size_t begin, std::size_t
   for (std::size_t j = 0; j < block; ++j) {
     const SwitchId src = in.sources[begin + j];
     out.ordered_sum += static_cast<std::uint64_t>(in.weights[src]) * dist_sum[j];
-    if (reached_weight[j] != in.total_weight) out.all_reached = false;
+    out.unreached_ordered += static_cast<std::uint64_t>(in.weights[src]) *
+                             (in.total_weight - reached_weight[j]);
   }
   // The bit-parallel kernel tracks max_dist only over weighted targets; for
   // unweighted-target diameters (switch metrics) every weight is 1, so the
@@ -187,7 +191,7 @@ ApspResult run_apsp(const ApspInput& in, bool use_bits, ThreadPool* pool) {
     std::lock_guard lock(merge_mutex);
     total.ordered_sum += part.ordered_sum;
     total.max_dist = std::max(total.max_dist, part.max_dist);
-    total.all_reached = total.all_reached && part.all_reached;
+    total.unreached_ordered += part.unreached_ordered;
   };
 
   if (pool && blocks > 1) {
@@ -199,34 +203,39 @@ ApspResult run_apsp(const ApspInput& in, bool use_bits, ThreadPool* pool) {
 }
 
 HostMetrics host_metrics_impl(const HostSwitchGraph& g, bool use_bits,
-                              ThreadPool* pool) {
-  ORP_REQUIRE(g.fully_attached(), "metrics need every host attached to a switch");
-  const std::uint64_t n = g.num_hosts();
+                              ThreadPool* pool, bool require_fully_attached) {
+  if (require_fully_attached) {
+    ORP_REQUIRE(g.fully_attached(), "metrics need every host attached to a switch");
+  }
   HostMetrics result;
-  if (n < 2) return result;
 
   ApspInput in;
   in.g = &g;
   in.targets_weighted_only = true;
   in.weights.resize(g.num_switches());
+  std::uint64_t n = 0;
   for (SwitchId s = 0; s < g.num_switches(); ++s) {
     in.weights[s] = g.hosts_on(s);
+    n += in.weights[s];
     if (in.weights[s] > 0) in.sources.push_back(s);
   }
+  if (n < 2) return result;
   in.total_weight = n;
 
   const ApspResult apsp = run_apsp(in, use_bits, pool);
   const std::uint64_t pairs = n * (n - 1) / 2;
-  if (!apsp.all_reached) {
-    result.connected = false;
+  result.unreachable_pairs = apsp.unreached_ordered / 2;
+  result.connected_pairs = pairs - result.unreachable_pairs;
+  result.connected = result.unreachable_pairs == 0;
+  if (result.connected_pairs == 0) {
     result.h_aspl = std::numeric_limits<double>::infinity();
     result.diameter = HostMetrics::kUnreachable;
     return result;
   }
-  result.total_length = apsp.ordered_sum / 2 + 2 * pairs;
-  result.h_aspl = static_cast<double>(result.total_length) / static_cast<double>(pairs);
+  result.total_length = apsp.ordered_sum / 2 + 2 * result.connected_pairs;
+  result.h_aspl = static_cast<double>(result.total_length) /
+                  static_cast<double>(result.connected_pairs);
   result.diameter = apsp.max_dist + 2;  // +2 for the two host-switch hops
-  if (in.sources.size() == 1) result.diameter = 2;  // all hosts on one switch
   return result;
 }
 
@@ -246,14 +255,17 @@ SwitchMetrics switch_metrics_impl(const HostSwitchGraph& g, bool use_bits,
 
   const ApspResult apsp = run_apsp(in, use_bits, pool);
   const std::uint64_t pairs = m * (m - 1) / 2;
-  if (!apsp.all_reached) {
-    result.connected = false;
+  result.unreachable_pairs = apsp.unreached_ordered / 2;
+  result.connected_pairs = pairs - result.unreachable_pairs;
+  result.connected = result.unreachable_pairs == 0;
+  if (result.connected_pairs == 0) {
     result.aspl = std::numeric_limits<double>::infinity();
     result.diameter = HostMetrics::kUnreachable;
     return result;
   }
   result.total_length = apsp.ordered_sum / 2;
-  result.aspl = static_cast<double>(result.total_length) / static_cast<double>(pairs);
+  result.aspl = static_cast<double>(result.total_length) /
+                static_cast<double>(result.connected_pairs);
   result.diameter = apsp.max_dist;
   return result;
 }
@@ -264,7 +276,14 @@ SwitchMetrics switch_metrics_impl(const HostSwitchGraph& g, bool use_bits,
 // reference is only reachable through detail:: (test suite + microbench).
 HostMetrics compute_host_metrics(const HostSwitchGraph& g, AsplKernel /*kernel*/,
                                  ThreadPool* pool) {
-  return host_metrics_impl(g, /*use_bits=*/true, pool);
+  return host_metrics_impl(g, /*use_bits=*/true, pool,
+                           /*require_fully_attached=*/true);
+}
+
+HostMetrics compute_live_host_metrics(const HostSwitchGraph& g,
+                                      AsplKernel /*kernel*/, ThreadPool* pool) {
+  return host_metrics_impl(g, /*use_bits=*/true, pool,
+                           /*require_fully_attached=*/false);
 }
 
 SwitchMetrics compute_switch_metrics(const HostSwitchGraph& g,
@@ -276,7 +295,8 @@ namespace detail {
 
 HostMetrics compute_host_metrics_scalar(const HostSwitchGraph& g,
                                         ThreadPool* pool) {
-  return host_metrics_impl(g, /*use_bits=*/false, pool);
+  return host_metrics_impl(g, /*use_bits=*/false, pool,
+                           /*require_fully_attached=*/true);
 }
 
 SwitchMetrics compute_switch_metrics_scalar(const HostSwitchGraph& g,

@@ -33,29 +33,45 @@ enum class AsplKernel {
 };
 
 /// Result of a host-to-host metric evaluation.
+///
+/// Disconnected-graph semantics (degraded-operation contract, see
+/// docs/resilience.md): averages and the diameter are taken over the
+/// *connected* host pairs only, and the pairs that cannot reach each other
+/// are counted in `unreachable_pairs` instead of poisoning the scalars.
+/// When every pair is unreachable (`connected_pairs == 0`) the h-ASPL is
+/// +infinity and the diameter is kUnreachable — there is no path length to
+/// report. Connected graphs are unaffected: `connected_pairs` equals
+/// C(n,2) and `unreachable_pairs` is 0.
 struct HostMetrics {
-  /// Host-to-host average shortest path length A(G); +infinity when some
-  /// host pair is unreachable, 0 when n < 2.
+  /// Average shortest path length over the connected host pairs; +infinity
+  /// when no pair is connected, 0 when n < 2.
   double h_aspl = 0.0;
-  /// Host-to-host diameter D(G); kUnreachable when disconnected, 0 when n < 2.
+  /// Maximum shortest path length over the connected host pairs;
+  /// kUnreachable when no pair is connected, 0 when n < 2.
   std::uint32_t diameter = 0;
   /// True when every host can reach every other host.
   bool connected = true;
-  /// Sum of l(h_i, h_j) over unordered host pairs (meaningful only when
-  /// connected).
+  /// Sum of l(h_i, h_j) over the connected unordered host pairs.
   std::uint64_t total_length = 0;
+  /// Unordered host pairs with a path between them. C(n,2) when connected.
+  std::uint64_t connected_pairs = 0;
+  /// Unordered host pairs with no path between them. 0 when connected.
+  std::uint64_t unreachable_pairs = 0;
 
   static constexpr std::uint32_t kUnreachable =
       std::numeric_limits<std::uint32_t>::max();
 };
 
 /// Metrics of the switch subgraph viewed as a plain undirected graph
-/// (used by the regular-graph analysis of §5.1 / Eq. 1).
+/// (used by the regular-graph analysis of §5.1 / Eq. 1). Disconnected
+/// graphs follow the same connected-pairs contract as HostMetrics.
 struct SwitchMetrics {
   double aspl = 0.0;
   std::uint32_t diameter = 0;
   bool connected = true;
   std::uint64_t total_length = 0;
+  std::uint64_t connected_pairs = 0;
+  std::uint64_t unreachable_pairs = 0;
 };
 
 /// Computes h-ASPL / host diameter. Requires every host to be attached.
@@ -63,6 +79,15 @@ struct SwitchMetrics {
 HostMetrics compute_host_metrics(const HostSwitchGraph& g,
                                  AsplKernel kernel = AsplKernel::kAuto,
                                  ThreadPool* pool = nullptr);
+
+/// Degraded-operation variant: computes the same metrics over the
+/// *attached* hosts only, tolerating detached ones (the fault layer
+/// detaches hosts whose switch died). Pair counts are over the attached
+/// host set; a graph with fewer than two attached hosts yields the
+/// default-constructed result.
+HostMetrics compute_live_host_metrics(const HostSwitchGraph& g,
+                                      AsplKernel kernel = AsplKernel::kAuto,
+                                      ThreadPool* pool = nullptr);
 
 /// Computes the switch subgraph's ASPL / diameter.
 SwitchMetrics compute_switch_metrics(const HostSwitchGraph& g,

@@ -13,6 +13,10 @@
 #include "common/thread_pool.hpp"  // IWYU pragma: export
 #include "cost/evaluate.hpp"     // IWYU pragma: export
 #include "cost/placement.hpp"    // IWYU pragma: export
+#include "fault/degraded.hpp"    // IWYU pragma: export
+#include "fault/events.hpp"      // IWYU pragma: export
+#include "fault/model.hpp"       // IWYU pragma: export
+#include "fault/montecarlo.hpp"  // IWYU pragma: export
 #include "hsg/analysis.hpp"      // IWYU pragma: export
 #include "hsg/bounds.hpp"        // IWYU pragma: export
 #include "hsg/host_switch_graph.hpp"  // IWYU pragma: export

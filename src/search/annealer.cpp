@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/shutdown.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -239,6 +240,11 @@ AnnealResult anneal(const HostSwitchGraph& initial, const AnnealOptions& options
 
   for (std::uint64_t iter = 0; iter < options.iterations;
        ++iter, temperature *= cooling) {
+    if (shutdown_requested()) {
+      // SIGINT/SIGTERM: wind down and hand back the best-so-far.
+      result.interrupted = true;
+      break;
+    }
     if (options.trace_every && iter % options.trace_every == 0) {
       result.trace.push_back({iter, current_metrics.h_aspl,
                               result.best_metrics.h_aspl, temperature});
@@ -317,6 +323,7 @@ AnnealResult anneal(const HostSwitchGraph& initial, const AnnealOptions& options
 
   span.arg("evaluations", result.evaluations);
   span.arg("accepted", result.accepted);
+  if (result.interrupted) span.arg("interrupted", std::uint64_t{1});
   span.arg("best_haspl", result.best_metrics.h_aspl);
   return result;
 }

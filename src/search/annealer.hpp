@@ -76,10 +76,14 @@ struct AnnealResult {
   std::uint64_t evaluations = 0;        ///< metric evaluations performed
   std::uint64_t accepted = 0;           ///< accepted moves
   std::vector<AnnealTracePoint> trace;  ///< samples (if trace_every > 0)
+  /// True when the run stopped early on shutdown_requested() (SIGINT/
+  /// SIGTERM); `best` is still the best solution seen up to that point.
+  bool interrupted = false;
 };
 
 /// Runs SA from `initial` (which must be fully attached and connected) and
-/// returns the best solution seen.
+/// returns the best solution seen. Polls shutdown_requested() each
+/// iteration and winds down gracefully when set.
 AnnealResult anneal(const HostSwitchGraph& initial, const AnnealOptions& options);
 
 }  // namespace orp

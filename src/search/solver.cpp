@@ -1,5 +1,6 @@
 #include "search/solver.hpp"
 
+#include "common/shutdown.hpp"
 #include "hsg/bounds.hpp"
 #include "obs/trace.hpp"
 #include "search/clique.hpp"
@@ -62,6 +63,10 @@ SolveResult solve_orp(std::uint32_t n, std::uint32_t r, const SolveOptions& opti
   std::vector<std::optional<AnnealResult>> results(
       static_cast<std::size_t>(restarts));
   auto run_one = [&](std::size_t run) {
+    // Graceful shutdown: skip restarts that have not started yet. Restart 0
+    // always runs (the annealer inside winds down immediately when the flag
+    // is set) so the solver can still return a valid solution.
+    if (run != 0 && shutdown_requested()) return;
     obs::Span restart_span("solver.sa_restart", "search");
     restart_span.arg("restart", static_cast<std::uint64_t>(run));
     Xoshiro256 rng = streams[run];
@@ -92,12 +97,19 @@ SolveResult solve_orp(std::uint32_t n, std::uint32_t r, const SolveOptions& opti
   }
 
   std::optional<AnnealResult> best;
+  bool interrupted = false;
   for (auto& result : results) {
+    if (!result) {  // restart skipped by a shutdown request
+      interrupted = true;
+      continue;
+    }
+    interrupted = interrupted || result->interrupted;
     if (!best ||
         result->best_metrics.total_length < best->best_metrics.total_length) {
       best = std::move(result);
     }
   }
+  ORP_ASSERT(best.has_value());  // restart 0 always runs
 
   SolveResult result{.graph = std::move(best->best),
                      .metrics = best->best_metrics,
@@ -106,6 +118,7 @@ SolveResult solve_orp(std::uint32_t n, std::uint32_t r, const SolveOptions& opti
                      .haspl_lower_bound = haspl_lower_bound(n, r),
                      .continuous_moore_bound = continuous_haspl_moore_bound(n, m, r),
                      .used_clique = false,
+                     .interrupted = interrupted,
                      .sa_trace = std::move(best->trace)};
   solve_span.arg("method", "sa");
   solve_span.arg("haspl", result.metrics.h_aspl);

@@ -50,6 +50,10 @@ struct SolveResult {
   double haspl_lower_bound = 0.0;       ///< Theorem 2
   double continuous_moore_bound = 0.0;  ///< at the returned m
   bool used_clique = false;             ///< solved by construction, no SA
+  /// True when SIGINT/SIGTERM cut the search short (remaining restarts
+  /// were skipped and the running ones wound down); the returned graph is
+  /// still the best found before the interruption.
+  bool interrupted = false;
   /// Convergence samples of the best restart (when trace_every > 0).
   std::vector<AnnealTracePoint> sa_trace;
 };

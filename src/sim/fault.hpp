@@ -1,0 +1,39 @@
+#pragma once
+// Timed fault events and degradation counters for the simulator.
+//
+// Events are injected into a Machine via inject_faults() and strike at
+// their simulated timestamp: pending events due before a communication
+// phase apply as the phase starts; events due during a phase interrupt the
+// fluid solve at the exact event time, the routing table is rebuilt on the
+// surviving topology, and in-flight flows either reroute (keeping the
+// bytes already delivered, paying retry_backoff) or — when no route
+// survives — fail cleanly after retry_timeout. See docs/resilience.md.
+
+#include <cstdint>
+
+#include "hsg/host_switch_graph.hpp"
+
+namespace orp {
+
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kLinkDown,   ///< cable {a, b} fails
+    kSwitchDown  ///< switch `a` fails (all its links; its hosts go dark)
+  };
+
+  double time = 0.0;  ///< simulated seconds at which the fault strikes
+  Kind kind = Kind::kLinkDown;
+  SwitchId a = 0;
+  SwitchId b = 0;  ///< second link endpoint; unused for kSwitchDown
+};
+
+/// Cumulative graceful-degradation counters over a Machine's lifetime.
+struct FaultStats {
+  std::uint64_t events_applied = 0;   ///< fault events consumed
+  std::uint64_t routing_rebuilds = 0; ///< table rebuilds caused by faults
+  std::uint64_t flows_retried = 0;    ///< flow reroute events (with backoff)
+  std::uint64_t flows_failed = 0;     ///< flows abandoned (no surviving route)
+  double retry_added_latency = 0.0;   ///< summed backoff seconds across flows
+};
+
+}  // namespace orp

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <limits>
 #include <numeric>
 #include <string>
@@ -17,12 +18,20 @@ struct SimInstruments {
   obs::Counter& phases;
   obs::Counter& flows;
   obs::Histogram& solve_ns;
+  obs::Counter& fault_events;
+  obs::Counter& fault_rebuilds;
+  obs::Counter& fault_retries;
+  obs::Counter& fault_failures;
 
   static SimInstruments& get() {
     auto& registry = obs::Registry::global();
     static SimInstruments instance{registry.counter("sim.phases"),
                                    registry.counter("sim.flows"),
-                                   registry.histogram("sim.phase.solve_ns")};
+                                   registry.histogram("sim.phase.solve_ns"),
+                                   registry.counter("sim.fault.events"),
+                                   registry.counter("sim.fault.rebuilds"),
+                                   registry.counter("sim.fault.retried_flows"),
+                                   registry.counter("sim.fault.failed_flows")};
     return instance;
   }
 };
@@ -32,7 +41,8 @@ struct SimInstruments {
 Machine::Machine(const HostSwitchGraph& graph, const SimParams& params,
                  std::vector<HostId> rank_to_host)
     : params_(params),
-      routes_(graph),
+      graph_(graph),
+      routes_(graph_),
       num_ranks_(graph.num_hosts()),
       rank_to_host_(std::move(rank_to_host)),
       solver_(routes_.num_links(), params.link_bandwidth) {
@@ -46,6 +56,79 @@ Machine::Machine(const HostSwitchGraph& graph, const SimParams& params,
     ORP_REQUIRE(h < num_ranks_ && !seen[h], "rank map must be a permutation of hosts");
     seen[h] = 1;
   }
+  switch_dead_.assign(graph_.num_switches(), 0);
+  host_dead_.assign(num_ranks_, 0);
+}
+
+void Machine::inject_faults(std::vector<FaultEvent> events) {
+  for (const FaultEvent& e : events) {
+    ORP_REQUIRE(std::isfinite(e.time) && e.time >= 0.0,
+                "fault event time must be finite and non-negative");
+    ORP_REQUIRE(e.a < graph_.num_switches(), "fault event switch out of range");
+    if (e.kind == FaultEvent::Kind::kLinkDown) {
+      ORP_REQUIRE(e.b < graph_.num_switches() && e.a != e.b,
+                  "fault event link endpoints invalid");
+    }
+  }
+  // Drop the already-applied prefix, merge, and keep time order (stable so
+  // same-instant events apply in injection order).
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(next_event_));
+  next_event_ = 0;
+  pending_.insert(pending_.end(), events.begin(), events.end());
+  std::stable_sort(
+      pending_.begin(), pending_.end(),
+      [](const FaultEvent& x, const FaultEvent& y) { return x.time < y.time; });
+}
+
+bool Machine::apply_due_faults(double horizon,
+                               std::vector<std::uint8_t>* removed_links) {
+  SimInstruments& instruments = SimInstruments::get();
+  bool changed = false;
+  // Flags both directions of a dying cable under the OLD link numbering
+  // (routes_ is rebuilt only after every due event has landed).
+  const auto mark = [&](SwitchId a, SwitchId b) {
+    if (!removed_links) return;
+    (*removed_links)[routes_.switch_link(a, b)] = 1;
+    (*removed_links)[routes_.switch_link(b, a)] = 1;
+  };
+  while (next_event_ < pending_.size() &&
+         pending_[next_event_].time <= horizon) {
+    const FaultEvent& e = pending_[next_event_++];
+    ++fault_stats_.events_applied;
+    instruments.fault_events.inc();
+    if (e.kind == FaultEvent::Kind::kLinkDown) {
+      // A cable that is already gone (repeat event, or its switch died) is
+      // a no-op rather than an error: fault schedules may overlap.
+      if (graph_.has_switch_edge(e.a, e.b)) {
+        mark(e.a, e.b);
+        graph_.remove_switch_edge(e.a, e.b);
+        changed = true;
+      }
+    } else if (!switch_dead_[e.a]) {
+      switch_dead_[e.a] = 1;
+      const auto span = graph_.neighbors(e.a);
+      const std::vector<SwitchId> frozen(span.begin(), span.end());
+      for (const SwitchId t : frozen) {
+        mark(e.a, t);
+        graph_.remove_switch_edge(e.a, t);
+      }
+      for (HostId h = 0; h < graph_.num_hosts(); ++h) {
+        if (graph_.host_switch(h) == e.a) host_dead_[h] = 1;
+      }
+      changed = true;
+    }
+  }
+  if (changed) {
+    // Full rebuild: link ids renumber, so callers with in-flight paths must
+    // recompute every one of them (the ids are offsets into a layout that
+    // just shifted, not stable names).
+    routes_ = RoutingTable(graph_);
+    solver_ = FairShareSolver(routes_.num_links(), params_.link_bandwidth);
+    ++fault_stats_.routing_rebuilds;
+    instruments.fault_rebuilds.inc();
+  }
+  return changed;
 }
 
 std::uint32_t Machine::route_hops(Rank a, Rank b) const {
@@ -69,28 +152,50 @@ double Machine::phase(const std::vector<Message>& messages) {
   obs::Span span("sim.phase", "sim");
   obs::ScopedTimer solve_timer(instruments.solve_ns);
 
+  // Faults that struck between phases (or before the run) land now, so
+  // injection below already routes on the degraded topology.
+  apply_due_faults(clock_, nullptr);
+
   // Build flow paths (self-messages are memcpy, modeled as free).
   ++phase_counter_;
   paths_.clear();
   std::vector<std::uint64_t> remaining;
   std::vector<std::uint32_t> hops;
+  std::vector<HostId> flow_src, flow_dst;
+  std::vector<std::uint64_t> flow_key;
+  std::vector<double> penalty;
+  std::vector<std::uint8_t> failed, retried;
+
+  // Routes flow f on the current topology; returns its hop count, or 0
+  // when no route survives (dead endpoint or partitioned host pair).
+  const auto route_flow = [&](std::size_t f) -> std::uint32_t {
+    const HostId src = flow_src[f];
+    const HostId dst = flow_dst[f];
+    if (host_dead_[src] || host_dead_[dst]) return 0;
+    if (params_.routing == RoutingPolicy::kEcmp) {
+      return routes_.try_append_host_path_ecmp(src, dst, flow_key[f],
+                                               paths_[f]);
+    }
+    return routes_.try_append_host_path(src, dst, paths_[f]);
+  };
+
   for (const Message& m : messages) {
     ORP_REQUIRE(m.src < num_ranks_ && m.dst < num_ranks_, "rank out of range");
     if (m.src == m.dst) continue;
+    const std::size_t f = paths_.size();
     paths_.emplace_back();
-    if (params_.routing == RoutingPolicy::kEcmp) {
-      // Per-flow key: stable for a (src, dst) within a phase, varied across
-      // phases so repeated rounds spread differently.
-      const std::uint64_t key =
-          (static_cast<std::uint64_t>(m.src) << 40) ^
-          (static_cast<std::uint64_t>(m.dst) << 16) ^ phase_counter_;
-      hops.push_back(routes_.append_host_path_ecmp(
-          rank_to_host_[m.src], rank_to_host_[m.dst], key, paths_.back()));
-    } else {
-      hops.push_back(routes_.append_host_path(rank_to_host_[m.src],
-                                              rank_to_host_[m.dst], paths_.back()));
-    }
+    flow_src.push_back(rank_to_host_[m.src]);
+    flow_dst.push_back(rank_to_host_[m.dst]);
+    // Per-flow key: stable for a (src, dst) within a phase, varied across
+    // phases so repeated rounds spread differently.
+    flow_key.push_back((static_cast<std::uint64_t>(m.src) << 40) ^
+                       (static_cast<std::uint64_t>(m.dst) << 16) ^
+                       phase_counter_);
     remaining.push_back(m.bytes);
+    penalty.push_back(0.0);
+    failed.push_back(0);
+    retried.push_back(0);
+    hops.push_back(route_flow(f));
   }
   if (paths_.empty()) return 0.0;
 
@@ -99,9 +204,18 @@ double Machine::phase(const std::vector<Message>& messages) {
   std::vector<double> finish(num_flows, 0.0);
   std::size_t active_count = num_flows;
 
-  // Zero-byte messages finish immediately (latency-only).
   for (std::size_t f = 0; f < num_flows; ++f) {
-    if (remaining[f] == 0) {
+    if (hops[f] == 0) {
+      // No surviving route at injection: the sender gives up after the
+      // bounded detection timeout instead of hanging.
+      failed[f] = 1;
+      active[f] = 0;
+      --active_count;
+      finish[f] = params_.retry_timeout;
+      ++fault_stats_.flows_failed;
+      instruments.fault_failures.inc();
+    } else if (remaining[f] == 0) {
+      // Zero-byte messages finish immediately (latency-only).
       active[f] = 0;
       --active_count;
     }
@@ -110,9 +224,14 @@ double Machine::phase(const std::vector<Message>& messages) {
   // Fluid simulation: advance to the next flow completion, re-solving the
   // fair allocation whenever the active set changes. Completions within a
   // relative epsilon batch together, which keeps homogeneous collectives at
-  // one solve per phase.
+  // one solve per phase. Fault events due mid-phase interrupt the advance
+  // at their timestamp: the topology degrades, routing rebuilds, and every
+  // in-flight flow is re-pathed (link ids renumber on rebuild) — flows that
+  // were crossing a dead link pay retry_backoff, flows with no surviving
+  // route fail at the event time plus retry_timeout.
   double t = 0.0;
   std::vector<double> byte_progress(num_flows, 0.0);
+  std::vector<std::uint8_t> removed_links;
   while (active_count > 0) {
     solver_.solve(paths_, active, rates_);
     double dt = std::numeric_limits<double>::infinity();
@@ -121,6 +240,54 @@ double Machine::phase(const std::vector<Message>& messages) {
       ORP_ASSERT(rates_[f] > 0.0);
       dt = std::min(dt, (static_cast<double>(remaining[f]) - byte_progress[f]) / rates_[f]);
     }
+
+    if (next_event_ < pending_.size() &&
+        pending_[next_event_].time < clock_ + t + dt) {
+      // Progress to the fault instant, then apply every event due there.
+      const double event_t = std::max(pending_[next_event_].time - clock_, t);
+      for (std::size_t f = 0; f < num_flows; ++f) {
+        if (active[f]) byte_progress[f] += rates_[f] * (event_t - t);
+      }
+      t = event_t;
+      removed_links.assign(routes_.num_links(), 0);
+      if (!apply_due_faults(clock_ + t, &removed_links)) continue;
+      for (std::size_t f = 0; f < num_flows; ++f) {
+        if (!active[f]) continue;
+        // Impact test against the OLD numbering, before the paths go stale.
+        bool hit = host_dead_[flow_src[f]] || host_dead_[flow_dst[f]];
+        if (!hit) {
+          for (const LinkId l : paths_[f]) {
+            if (removed_links[l]) {
+              hit = true;
+              break;
+            }
+          }
+        }
+        paths_[f].clear();
+        const std::uint32_t new_hops = route_flow(f);
+        if (new_hops == 0) {
+          active[f] = 0;
+          --active_count;
+          failed[f] = 1;
+          finish[f] = t + params_.retry_timeout;
+          ++fault_stats_.flows_failed;
+          instruments.fault_failures.inc();
+        } else {
+          hops[f] = new_hops;
+          if (hit) {
+            // Rerouted mid-flight: delivered bytes are kept, the reroute
+            // costs one transport backoff.
+            penalty[f] += params_.retry_backoff;
+            fault_stats_.retry_added_latency += params_.retry_backoff;
+            retried[f] = 1;
+            ++fault_stats_.flows_retried;
+            instruments.fault_retries.inc();
+          }
+        }
+      }
+      continue;
+    }
+
     const double batch_window = dt * (1.0 + 1e-9) + 1e-15;
     t += dt;
     for (std::size_t f = 0; f < num_flows; ++f) {
@@ -136,11 +303,14 @@ double Machine::phase(const std::vector<Message>& messages) {
   }
 
   // Per-message wire latency + software overhead; the phase ends when the
-  // slowest message has fully landed.
+  // slowest message has fully landed (failed flows end at their bounded
+  // give-up time).
   double elapsed = 0.0;
   for (std::size_t f = 0; f < num_flows; ++f) {
     const double total =
-        finish[f] + params_.mpi_overhead + hops[f] * params_.hop_latency;
+        failed[f] ? finish[f]
+                  : finish[f] + penalty[f] + params_.mpi_overhead +
+                        hops[f] * params_.hop_latency;
     elapsed = std::max(elapsed, total);
   }
 
@@ -150,6 +320,12 @@ double Machine::phase(const std::vector<Message>& messages) {
   stats_ = PhaseStats{};
   stats_.elapsed = elapsed;
   stats_.flows = num_flows;
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    stats_.failed += failed[f];
+    stats_.retried += retried[f];
+    stats_.retry_added_latency += penalty[f];
+  }
+  stats_.completed = num_flows - stats_.failed;
   if (t > 0.0) {
     link_bytes_.assign(routes_.num_links(), 0.0);
     double peak = 0.0;
@@ -197,6 +373,11 @@ double Machine::phase(const std::vector<Message>& messages) {
     span.arg("max_link_util", stats_.max_link_utilization);
     span.arg("mean_link_util", stats_.mean_link_utilization);
     span.arg("mean_hops", stats_.mean_hops);
+    if (stats_.retried || stats_.failed) {
+      span.arg("flows_retried", stats_.retried);
+      span.arg("flows_failed", stats_.failed);
+      span.arg("retry_added_latency_s", stats_.retry_added_latency);
+    }
     std::string top = "[";
     for (std::size_t i = 0; i < stats_.top_links.size(); ++i) {
       if (i) top += ',';

@@ -23,6 +23,7 @@
 
 #include "hsg/host_switch_graph.hpp"
 #include "sim/fairshare.hpp"
+#include "sim/fault.hpp"
 #include "sim/params.hpp"
 #include "sim/routing.hpp"
 
@@ -53,6 +54,21 @@ class Machine {
   /// Hop count of the route between two ranks (the end-to-end latency in
   /// links; equals l(h_i, h_j) of the underlying host-switch graph).
   std::uint32_t route_hops(Rank a, Rank b) const;
+
+  // ---- fault injection (see sim/fault.hpp and docs/resilience.md) ------
+
+  /// Schedules fault events. Events due at or before the current clock
+  /// apply at the start of the next phase; later ones strike mid-phase at
+  /// their timestamp. Merges with any not-yet-applied events.
+  void inject_faults(std::vector<FaultEvent> events);
+  const FaultStats& fault_stats() const noexcept { return fault_stats_; }
+  /// True while the rank's host sits on a live switch.
+  bool rank_alive(Rank r) const {
+    ORP_REQUIRE(r < num_ranks_, "rank out of range");
+    return !host_dead_[rank_to_host_[r]];
+  }
+  /// The (possibly degraded) topology the machine currently routes on.
+  const HostSwitchGraph& graph() const noexcept { return graph_; }
 
   // ---- steps: each advances the clock and returns its elapsed seconds --
 
@@ -102,12 +118,25 @@ class Machine {
     };
     static constexpr std::size_t kTopLinks = 4;
     std::vector<LinkLoad> top_links;
+
+    // Graceful-degradation breakdown (all zero on a healthy run):
+    std::uint64_t completed = 0;  ///< flows fully delivered
+    std::uint64_t retried = 0;    ///< flows rerouted at least once
+    std::uint64_t failed = 0;     ///< flows abandoned (no surviving route)
+    double retry_added_latency = 0.0;  ///< summed backoff seconds
   };
   const PhaseStats& last_phase_stats() const noexcept { return stats_; }
 
  private:
+  /// Applies every pending fault event with time <= horizon to the
+  /// topology; rebuilds routing/solver and returns true when it changed.
+  /// When `removed_links` is non-null, the *old* directed link ids of every
+  /// link that went down are flagged in it (caller sizes it to the old
+  /// num_links) so in-flight flows can be tested for impact.
+  bool apply_due_faults(double horizon, std::vector<std::uint8_t>* removed_links);
 
   SimParams params_;
+  HostSwitchGraph graph_;  ///< current (possibly degraded) topology
   RoutingTable routes_;
   std::uint32_t num_ranks_;
   std::vector<HostId> rank_to_host_;
@@ -115,6 +144,13 @@ class Machine {
   double clock_ = 0.0;
   PhaseStats stats_;
   std::uint64_t phase_counter_ = 0;  ///< decorrelates ECMP hashes across phases
+
+  // Fault state.
+  std::vector<std::uint8_t> switch_dead_;
+  std::vector<std::uint8_t> host_dead_;
+  std::vector<FaultEvent> pending_;  ///< sorted by time
+  std::size_t next_event_ = 0;       ///< first unapplied entry of pending_
+  FaultStats fault_stats_;
 
   // Scratch reused across phases.
   std::vector<std::vector<LinkId>> paths_;

@@ -20,6 +20,13 @@ struct SimParams {
   double mpi_overhead = 1.0e-6;   ///< per-message software overhead, seconds
   double host_gflops = 100.0;     ///< compute rate per host (paper: 100 GFlops)
   RoutingPolicy routing = RoutingPolicy::kDeterministic;
+  /// Added latency per in-flight flow reroute after a fault (transport
+  /// retransmission handshake). Only reachable via Machine::inject_faults.
+  double retry_backoff = 10.0e-6;
+  /// Give-up horizon for a flow whose endpoints have no surviving route:
+  /// the flow fails cleanly this many seconds after the fault (bounded
+  /// failure detection, not a hang).
+  double retry_timeout = 1.0e-3;
 };
 
 }  // namespace orp

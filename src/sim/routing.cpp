@@ -128,6 +128,21 @@ std::vector<SwitchId> RoutingTable::switch_path(SwitchId s, SwitchId t) const {
   return path;
 }
 
+std::uint32_t RoutingTable::try_append_host_path(HostId src, HostId dst,
+                                                 std::vector<LinkId>& path) const {
+  ORP_REQUIRE(src < n_ && dst < n_ && src != dst, "bad host pair");
+  if (!hosts_connected(src, dst)) return 0;
+  return append_host_path(src, dst, path);
+}
+
+std::uint32_t RoutingTable::try_append_host_path_ecmp(
+    HostId src, HostId dst, std::uint64_t flow_key,
+    std::vector<LinkId>& path) const {
+  ORP_REQUIRE(src < n_ && dst < n_ && src != dst, "bad host pair");
+  if (!hosts_connected(src, dst)) return 0;
+  return append_host_path_ecmp(src, dst, flow_key, path);
+}
+
 std::uint32_t RoutingTable::append_host_path(HostId src, HostId dst,
                                              std::vector<LinkId>& path) const {
   ORP_REQUIRE(src < n_ && dst < n_ && src != dst, "bad host pair");

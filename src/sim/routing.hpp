@@ -21,7 +21,10 @@ using LinkId = std::uint32_t;
 class RoutingTable {
  public:
   /// Precomputes next hops for all switch pairs (one BFS per switch).
-  /// Requires every host attached and all host-bearing switches connected.
+  /// Requires every host attached. Disconnected (degraded) topologies are
+  /// accepted: unreachable pairs are representable, the throwing append_*
+  /// family rejects them at path-build time, and the try_* variants report
+  /// them as "no route" instead.
   explicit RoutingTable(const HostSwitchGraph& g);
 
   std::uint32_t num_links() const noexcept { return num_links_; }
@@ -47,6 +50,24 @@ class RoutingTable {
   /// Number of equal-cost shortest next hops from s toward t (0 if s == t
   /// or unreachable). Exposed for tests and diversity statistics.
   std::uint32_t equal_cost_next_hops(SwitchId s, SwitchId t) const;
+
+  /// True when a route exists between the two hosts' switches. Unlike the
+  /// append_* family this never throws on a degraded topology.
+  bool hosts_connected(HostId src, HostId dst) const {
+    ORP_ASSERT(src < n_ && dst < n_);
+    const SwitchId s = host_switch_[src];
+    const SwitchId t = host_switch_[dst];
+    return dist_[static_cast<std::size_t>(s) * m_ + t] != kUnreachable;
+  }
+
+  /// Non-throwing variants for degraded topologies: append the route when
+  /// one exists and return its hop count, or leave `path` untouched and
+  /// return 0 when the hosts cannot reach each other.
+  std::uint32_t try_append_host_path(HostId src, HostId dst,
+                                     std::vector<LinkId>& path) const;
+  std::uint32_t try_append_host_path_ecmp(HostId src, HostId dst,
+                                          std::uint64_t flow_key,
+                                          std::vector<LinkId>& path) const;
 
   /// Directed link id for the switch-switch hop a -> b (must be adjacent).
   LinkId switch_link(SwitchId a, SwitchId b) const;

@@ -54,10 +54,13 @@ void expect_metrics_equal(const HostMetrics& got, const HostMetrics& want,
   EXPECT_EQ(got.connected, want.connected) << where;
   EXPECT_EQ(got.total_length, want.total_length) << where;
   EXPECT_EQ(got.diameter, want.diameter) << where;
-  if (want.connected) {
+  EXPECT_EQ(got.connected_pairs, want.connected_pairs) << where;
+  EXPECT_EQ(got.unreachable_pairs, want.unreachable_pairs) << where;
+  if (want.connected_pairs > 0) {
     EXPECT_DOUBLE_EQ(got.h_aspl, want.h_aspl) << where;
   } else {
     EXPECT_TRUE(std::isinf(got.h_aspl)) << where;
+    EXPECT_TRUE(std::isinf(want.h_aspl)) << where;
   }
 }
 
@@ -227,6 +230,51 @@ TEST(DeltaEvaluator, BridgeRemovalDisconnectsAndInverseRestores) {
   const HostMetrics restored = eval.apply(cut.inverse());
   expect_metrics_equal(restored, compute_host_metrics(g), "restored");
   EXPECT_EQ(eval.distance(0, 2), 2u);
+}
+
+TEST(DeltaEvaluator, PartialDisconnectKeepsConnectedPairMetrics) {
+  // Path 0-1-2 with one host per switch: cutting {1,2} strands host 2 but
+  // pair (h0,h1) survives at distance 3 — the evaluator must report the
+  // connected-pairs metrics, not bail to infinity.
+  HostSwitchGraph g(3, 3, 4);
+  g.attach_host(0, 0);
+  g.attach_host(1, 1);
+  g.attach_host(2, 2);
+  g.add_switch_edge(0, 1);
+  g.add_switch_edge(1, 2);
+  DeltaHasplEvaluator eval(g);
+
+  GraphDelta cut;
+  cut.remove_edge(1, 2);
+  g.remove_switch_edge(1, 2);
+  const HostMetrics broken = eval.apply(cut);
+  EXPECT_FALSE(broken.connected);
+  EXPECT_EQ(broken.connected_pairs, 1u);
+  EXPECT_EQ(broken.unreachable_pairs, 2u);
+  EXPECT_DOUBLE_EQ(broken.h_aspl, 3.0);
+  EXPECT_EQ(broken.diameter, 3u);
+  expect_metrics_equal(broken, compute_host_metrics(g), "partial-cut");
+
+  g.add_switch_edge(1, 2);
+  expect_metrics_equal(eval.apply(cut.inverse()), compute_host_metrics(g),
+                       "healed");
+}
+
+TEST(DeltaEvaluator, RejectsDisconnectedSnapshot) {
+  // Mirroring a split graph would corrupt every subsequent delta, so both
+  // construction and rebuild() refuse it outright.
+  HostSwitchGraph split(2, 2, 4);
+  split.attach_host(0, 0);
+  split.attach_host(1, 1);
+  EXPECT_THROW(DeltaHasplEvaluator eval(split), std::invalid_argument);
+
+  HostSwitchGraph ok(2, 2, 4);
+  ok.attach_host(0, 0);
+  ok.attach_host(1, 1);
+  ok.add_switch_edge(0, 1);
+  DeltaHasplEvaluator eval(ok);
+  ok.remove_switch_edge(0, 1);  // external edit splits the graph
+  EXPECT_THROW(eval.rebuild(ok), std::invalid_argument);
 }
 
 TEST(DeltaEvaluator, HostMoveUpdatesWeightsWithoutTouchingDistances) {

@@ -85,6 +85,90 @@ TEST(HsgIo, RejectsUnknownTag) {
   EXPECT_THROW(read_hsg(in), std::invalid_argument);
 }
 
+// Every parse error must carry the 1-based line number of the offending
+// line so malformed files are debuggable.
+void expect_fail_at_line(const std::string& text, std::size_t line) {
+  std::istringstream in(text);
+  try {
+    read_hsg(in);
+    FAIL() << "expected parse failure for: " << text;
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line " + std::to_string(line)),
+              std::string::npos)
+        << "wrong line in: " << e.what();
+  }
+}
+
+TEST(HsgIo, ErrorsReportTheOffendingLine) {
+  expect_fail_at_line("hsg 2 2 4\nH 0 0\nH 0 1\n", 3);   // duplicate attach
+  expect_fail_at_line("hsg 2 2 4\n\n# c\nS 0 0\n", 4);   // self-loop
+  expect_fail_at_line("hsg 2 2\n", 1);                   // short header
+}
+
+TEST(HsgIo, RejectsTrailingJunk) {
+  std::istringstream in("hsg 2 2 4 junk\n");
+  EXPECT_THROW(read_hsg(in), std::invalid_argument);
+  std::istringstream in2("hsg 2 2 4\nH 0 0 7\n");
+  EXPECT_THROW(read_hsg(in2), std::invalid_argument);
+  std::istringstream in3("hsg 2 2 4\nS 0 1 extra\n");
+  EXPECT_THROW(read_hsg(in3), std::invalid_argument);
+}
+
+TEST(HsgIo, RejectsNegativeIds) {
+  // operator>> into unsigned would wrap -1 to 4294967295; the parser must
+  // reject the sign outright instead of reporting a misleading range error.
+  std::istringstream in("hsg 2 2 4\nH -1 0\n");
+  try {
+    read_hsg(in);
+    FAIL() << "negative id accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("non-negative"), std::string::npos)
+        << e.what();
+  }
+  std::istringstream in2("hsg -2 2 4\n");
+  EXPECT_THROW(read_hsg(in2), std::invalid_argument);
+}
+
+TEST(HsgIo, RejectsNonNumericAndOverflowFields) {
+  std::istringstream in("hsg 2 2 4\nH zero 0\n");
+  EXPECT_THROW(read_hsg(in), std::invalid_argument);
+  std::istringstream in2("hsg 2 2 4\nH 1x 0\n");  // partial token
+  EXPECT_THROW(read_hsg(in2), std::invalid_argument);
+  std::istringstream in3("hsg 2 2 4\nS 99999999999 0\n");  // > uint32
+  EXPECT_THROW(read_hsg(in3), std::invalid_argument);
+}
+
+TEST(HsgIo, WrapsInfeasibleHeaderWithLineNumber) {
+  // (n, m, r) the graph constructor itself rejects must surface as a parse
+  // error at line 1, not an unlocated constructor exception.
+  expect_fail_at_line("hsg 2 2 0\n", 1);
+}
+
+TEST(HsgIo, AcceptsWindowsLineEndings) {
+  std::istringstream in("hsg 2 2 4\r\nH 0 0\r\nH 1 1\r\nS 0 1\r\n");
+  const auto g = read_hsg(in);
+  EXPECT_EQ(g.num_hosts(), 2u);
+  EXPECT_TRUE(g.has_switch_edge(0, 1));
+}
+
+TEST(HsgIo, EdgelistRoundTripsAndRejectsGarbage) {
+  // Ring on 4 vertices.
+  std::istringstream in("0 1\n1 2\n2 3\n0 3\n");
+  const auto g = read_edgelist(in, 4, 3);
+  EXPECT_TRUE(g.has_switch_edge(0, 1));
+  EXPECT_TRUE(g.has_switch_edge(0, 3));
+
+  // A non-numeric line must be an error, not silently skipped.
+  std::istringstream bad("0 1\nnot an edge\n");
+  EXPECT_THROW(read_edgelist(bad, 4, 3), std::invalid_argument);
+  std::istringstream junk("0 1 2\n");
+  EXPECT_THROW(read_edgelist(junk, 4, 3), std::invalid_argument);
+  std::istringstream neg("0 -1\n");
+  EXPECT_THROW(read_edgelist(neg, 4, 3), std::invalid_argument);
+  std::istringstream lonely("0\n");
+  EXPECT_THROW(read_edgelist(lonely, 4, 3), std::invalid_argument);
+}
+
 TEST(HsgIo, DotContainsAllVertices) {
   HostSwitchGraph g(2, 2, 4);
   g.attach_host(0, 0);

@@ -72,8 +72,74 @@ TEST(HostMetrics, DetectsDisconnectedHosts) {
   g.attach_host(1, 1);
   const auto metrics = compute_host_metrics(g);
   EXPECT_FALSE(metrics.connected);
+  // The only pair is split, so there is no connected pair to average over.
+  EXPECT_EQ(metrics.connected_pairs, 0u);
+  EXPECT_EQ(metrics.unreachable_pairs, 1u);
   EXPECT_TRUE(std::isinf(metrics.h_aspl));
   EXPECT_EQ(metrics.diameter, HostMetrics::kUnreachable);
+}
+
+TEST(HostMetrics, SplitGraphAveragesOverConnectedPairs) {
+  // Two components: {s0-s1} carrying hosts 0,1,2 and {s2} carrying host 3.
+  // Connected pairs: (0,1) same switch at 2, (0,2)/(1,2) across the edge at
+  // 3. The three pairs touching host 3 are unreachable.
+  HostSwitchGraph g(4, 3, 6);
+  g.attach_host(0, 0);
+  g.attach_host(1, 0);
+  g.attach_host(2, 1);
+  g.attach_host(3, 2);
+  g.add_switch_edge(0, 1);
+  const auto metrics = compute_host_metrics(g);
+  EXPECT_FALSE(metrics.connected);
+  EXPECT_EQ(metrics.connected_pairs, 3u);
+  EXPECT_EQ(metrics.unreachable_pairs, 3u);
+  EXPECT_EQ(metrics.total_length, 2u + 3u + 3u);
+  EXPECT_DOUBLE_EQ(metrics.h_aspl, 8.0 / 3.0);
+  EXPECT_EQ(metrics.diameter, 3u);
+}
+
+TEST(HostMetrics, IsolatedSwitchPairStaysConnectedAtDistanceTwo) {
+  // Both hosts share the isolated switch: the pair is connected (distance
+  // 2) even though the switch graph is split.
+  HostSwitchGraph g(4, 3, 6);
+  g.attach_host(0, 0);
+  g.attach_host(1, 1);
+  g.attach_host(2, 2);
+  g.attach_host(3, 2);
+  g.add_switch_edge(0, 1);
+  const auto metrics = compute_host_metrics(g);
+  EXPECT_FALSE(metrics.connected);
+  EXPECT_EQ(metrics.connected_pairs, 2u);   // (0,1) and (2,3)
+  EXPECT_EQ(metrics.unreachable_pairs, 4u);
+  EXPECT_EQ(metrics.total_length, 3u + 2u);
+  EXPECT_DOUBLE_EQ(metrics.h_aspl, 2.5);
+  EXPECT_EQ(metrics.diameter, 3u);
+}
+
+TEST(HostMetrics, LiveMetricsToleratesDetachedHosts) {
+  // Host 2 is detached (its switch died): live metrics run over the two
+  // attached hosts only, while the strict entry point still throws.
+  HostSwitchGraph g(3, 2, 4);
+  g.attach_host(0, 0);
+  g.attach_host(1, 1);
+  g.add_switch_edge(0, 1);
+  EXPECT_THROW(compute_host_metrics(g), std::invalid_argument);
+  const auto live = compute_live_host_metrics(g);
+  EXPECT_TRUE(live.connected);
+  EXPECT_EQ(live.connected_pairs, 1u);
+  EXPECT_EQ(live.unreachable_pairs, 0u);
+  EXPECT_DOUBLE_EQ(live.h_aspl, 3.0);
+  EXPECT_EQ(live.diameter, 3u);
+}
+
+TEST(HostMetrics, LiveMetricsWithUnderTwoAttachedHostsIsZero) {
+  HostSwitchGraph g(3, 2, 4);
+  g.attach_host(0, 0);
+  const auto live = compute_live_host_metrics(g);
+  EXPECT_DOUBLE_EQ(live.h_aspl, 0.0);
+  EXPECT_EQ(live.diameter, 0u);
+  EXPECT_EQ(live.connected_pairs, 0u);
+  EXPECT_EQ(live.unreachable_pairs, 0u);
 }
 
 TEST(HostMetrics, UnusedSwitchOffPathDoesNotAffectHaspl) {
@@ -114,11 +180,17 @@ TEST(SwitchMetrics, RingOfFive) {
 }
 
 TEST(SwitchMetrics, DisconnectedSwitchGraph) {
+  // Switches 2 and 3 are isolated: the only reachable pair is (0,1).
   HostSwitchGraph g(1, 4, 4);
   g.attach_host(0, 0);
   g.add_switch_edge(0, 1);
   const auto metrics = compute_switch_metrics(g);
   EXPECT_FALSE(metrics.connected);
+  EXPECT_EQ(metrics.connected_pairs, 1u);
+  EXPECT_EQ(metrics.unreachable_pairs, 5u);
+  EXPECT_DOUBLE_EQ(metrics.aspl, 1.0);
+  EXPECT_EQ(metrics.diameter, 1u);
+  EXPECT_EQ(metrics.total_length, 1u);
 }
 
 // Property sweep: the production bit-parallel kernel agrees exactly with
@@ -141,6 +213,8 @@ TEST_P(KernelAgreement, ScalarReferenceAndBitParallelMatch) {
   EXPECT_EQ(scalar.total_length, bits.total_length);
   EXPECT_EQ(scalar.diameter, bits.diameter);
   EXPECT_EQ(scalar.connected, bits.connected);
+  EXPECT_EQ(scalar.connected_pairs, bits.connected_pairs);
+  EXPECT_EQ(scalar.unreachable_pairs, bits.unreachable_pairs);
 
   // kAuto must be bit-identical too (it is the same kernel by contract).
   const auto autod = compute_host_metrics(g);
@@ -168,6 +242,44 @@ INSTANTIATE_TEST_SUITE_P(
                       // Shapes the old kAuto routed to scalar (m < 64):
                       KernelCase{24, 6, 8, 11}, KernelCase{256, 55, 12, 12},
                       KernelCase{10, 3, 6, 13}, KernelCase{128, 18, 12, 14}));
+
+// The unreached-pair accounting must agree between kernels too: isolate a
+// few switches of a random graph and cross-check every field.
+TEST(HostMetrics, KernelsAgreeOnSplitGraphs) {
+  for (std::uint64_t seed : {21ull, 22ull, 23ull}) {
+    Xoshiro256 rng(seed);
+    auto g = random_host_switch_graph(96, 24, 8, rng);
+    for (SwitchId s : {SwitchId{0}, SwitchId{7}, SwitchId{13}}) {
+      const auto nbrs = g.neighbors(s);
+      const std::vector<SwitchId> frozen(nbrs.begin(), nbrs.end());
+      for (SwitchId t : frozen) g.remove_switch_edge(s, t);
+    }
+    const auto scalar = detail::compute_host_metrics_scalar(g);
+    const auto bits = compute_host_metrics(g);
+    EXPECT_EQ(scalar.total_length, bits.total_length) << "seed=" << seed;
+    EXPECT_EQ(scalar.diameter, bits.diameter) << "seed=" << seed;
+    EXPECT_EQ(scalar.connected, bits.connected) << "seed=" << seed;
+    EXPECT_EQ(scalar.connected_pairs, bits.connected_pairs) << "seed=" << seed;
+    EXPECT_EQ(scalar.unreachable_pairs, bits.unreachable_pairs)
+        << "seed=" << seed;
+    EXPECT_GT(bits.unreachable_pairs, 0u) << "seed=" << seed;
+
+    ThreadPool pool(3);
+    const auto pooled = compute_host_metrics(g, AsplKernel::kBitParallel, &pool);
+    EXPECT_EQ(scalar.total_length, pooled.total_length) << "seed=" << seed;
+    EXPECT_EQ(scalar.unreachable_pairs, pooled.unreachable_pairs)
+        << "seed=" << seed;
+
+    const auto sw_scalar = detail::compute_switch_metrics_scalar(g);
+    const auto sw_bits = compute_switch_metrics(g);
+    EXPECT_EQ(sw_scalar.total_length, sw_bits.total_length) << "seed=" << seed;
+    EXPECT_EQ(sw_scalar.diameter, sw_bits.diameter) << "seed=" << seed;
+    EXPECT_EQ(sw_scalar.connected_pairs, sw_bits.connected_pairs)
+        << "seed=" << seed;
+    EXPECT_EQ(sw_scalar.unreachable_pairs, sw_bits.unreachable_pairs)
+        << "seed=" << seed;
+  }
+}
 
 #ifndef ORP_OBS_DISABLED
 // Non-test consumers must never hit the scalar path: kAuto routes to the

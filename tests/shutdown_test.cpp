@@ -1,0 +1,111 @@
+// Graceful-shutdown tests: the cooperative flag, early annealer/solver
+// wind-down, and a real SIGTERM delivered to a forked subprocess mid-run.
+#include <gtest/gtest.h>
+
+#include <csignal>
+
+#include "common/prng.hpp"
+#include "common/shutdown.hpp"
+#include "search/annealer.hpp"
+#include "search/random_init.hpp"
+#include "search/solver.hpp"
+
+#ifdef __unix__
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace orp {
+namespace {
+
+class ShutdownTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset_shutdown(); }
+  void TearDown() override { reset_shutdown(); }
+};
+
+TEST_F(ShutdownTest, FlagRoundTrips) {
+  EXPECT_FALSE(shutdown_requested());
+  request_shutdown();
+  EXPECT_TRUE(shutdown_requested());
+  reset_shutdown();
+  EXPECT_FALSE(shutdown_requested());
+}
+
+TEST_F(ShutdownTest, SignalHandlerSetsFlag) {
+  install_shutdown_handlers();
+  EXPECT_FALSE(shutdown_requested());
+  std::raise(SIGINT);
+  EXPECT_TRUE(shutdown_requested());
+  reset_shutdown();
+  std::raise(SIGTERM);
+  EXPECT_TRUE(shutdown_requested());
+}
+
+TEST_F(ShutdownTest, AnnealerWindsDownEarlyAndKeepsBestSoFar) {
+  Xoshiro256 rng(3);
+  const HostSwitchGraph initial = random_host_switch_graph(64, 16, 8, rng);
+  AnnealOptions options;
+  options.iterations = 1000000000ULL;  // would run for hours uninterrupted
+  request_shutdown();
+  const AnnealResult result = anneal(initial, options);
+  EXPECT_TRUE(result.interrupted);
+  EXPECT_EQ(result.evaluations, 1u);  // only the initial evaluation ran
+  EXPECT_TRUE(result.best_metrics.connected);
+  EXPECT_TRUE(result.best.fully_attached());
+}
+
+TEST_F(ShutdownTest, UninterruptedRunReportsNotInterrupted) {
+  Xoshiro256 rng(3);
+  const HostSwitchGraph initial = random_host_switch_graph(32, 8, 6, rng);
+  AnnealOptions options;
+  options.iterations = 50;
+  const AnnealResult result = anneal(initial, options);
+  EXPECT_FALSE(result.interrupted);
+  EXPECT_GT(result.evaluations, 1u);
+}
+
+TEST_F(ShutdownTest, SolverSkipsRemainingRestartsButStillReturns) {
+  SolveOptions options;
+  options.iterations = 1000000000ULL;
+  options.restarts = 4;
+  request_shutdown();
+  const SolveResult result = solve_orp(64, 8, options);
+  EXPECT_TRUE(result.interrupted);
+  EXPECT_TRUE(result.metrics.connected);
+  EXPECT_TRUE(result.graph.fully_attached());
+}
+
+#ifdef __unix__
+TEST_F(ShutdownTest, SubprocessExitsCleanlyOnSigterm) {
+  // Real end-to-end check: a forked child arms the handlers and starts an
+  // effectively-unbounded SA run; the parent SIGTERMs it and the child must
+  // exit 0 with an interrupted-but-valid result (no abort, no hang).
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    reset_shutdown();
+    install_shutdown_handlers();
+    Xoshiro256 rng(9);
+    const HostSwitchGraph initial = random_host_switch_graph(96, 24, 8, rng);
+    AnnealOptions options;
+    options.iterations = 1000000000ULL;
+    const AnnealResult result = anneal(initial, options);
+    const bool ok = result.interrupted && result.best_metrics.connected &&
+                    result.best.fully_attached();
+    _exit(ok ? 0 : 1);
+  }
+  // Give the child a moment to get into the iteration loop, then interrupt.
+  // (If the signal lands before anneal() starts, the flag is already set
+  // and the run winds down on iteration 0 — still a clean exit.)
+  usleep(100 * 1000);
+  ASSERT_EQ(kill(pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "child did not exit normally";
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+#endif
+
+}  // namespace
+}  // namespace orp
