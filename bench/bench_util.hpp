@@ -16,6 +16,7 @@
 #include "common/cli.hpp"
 #include "common/shutdown.hpp"
 #include "common/table.hpp"
+#include "obs/ledger.hpp"
 #include "obs/sink.hpp"
 #include "search/solver.hpp"
 #include "sim/nas.hpp"
@@ -81,15 +82,20 @@ inline bool parse_cli_with_obs(CliParser& cli, int argc, const char* const* argv
              "(from-scratch per move)");
   if (!cli.parse(argc, argv)) return false;
   obs::apply_cli(cli);
+  // Start the run-ledger clock and remember argv; finish_obs appends the
+  // record, so every bench invocation lands in $ORP_RUN_LEDGER.
+  obs::ledger_capture_argv(argc, argv);
   cli_eval_strategy() = parse_eval_strategy(cli.get("eval"));
   return true;
 }
 
 /// End-of-run counterpart: prints the metrics table when --obs-summary was
-/// passed, then flushes the active sink (closing JSONL traces).
+/// passed, flushes the active sink (closing JSONL traces), and appends this
+/// run's record to the cross-run ledger.
 inline void finish_obs(const CliParser& cli) {
   if (obs::cli_wants_summary(cli)) obs::print_summary(std::cout);
   obs::flush();
+  obs::append_run_ledger();
 }
 
 /// Prints the table and, when ORP_CSV_DIR is set, also writes it to

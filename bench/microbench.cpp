@@ -467,6 +467,14 @@ int main(int argc, char** argv) {
   std::cout << "wrote " << report.entries.size() << " benchmark series to "
             << out << "\n";
 
+  // Make the run findable later: which suite, how many series, where the
+  // BENCH json went.
+  orp::obs::ledger_note("suite", options.quick ? "quick" : "full");
+  orp::obs::ledger_note("series",
+                        static_cast<std::int64_t>(report.entries.size()));
+  orp::obs::ledger_note("counters_source", report.counters_source);
+  orp::obs::ledger_artifact(out);
+
   finish_obs(cli);
   return 0;
 }

@@ -67,6 +67,27 @@ void Table::print(std::ostream& os) const {
   for (const auto& r : cells_) emit(r);
 }
 
+void Table::print_markdown(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& r) {
+    os << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string{};
+      os << ' ';
+      for (char ch : cell) {
+        if (ch == '|') os << '\\';
+        os << ch;
+      }
+      os << " |";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) os << "---|";
+  os << '\n';
+  for (const auto& r : cells_) emit(r);
+}
+
 namespace {
 std::string csv_escape(const std::string& cell) {
   if (cell.find_first_of(",\"\n") == std::string::npos) return cell;

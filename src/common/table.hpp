@@ -32,6 +32,9 @@ class Table {
 
   /// Aligned fixed-width rendering for terminals.
   void print(std::ostream& os) const;
+  /// GitHub-flavored markdown pipe table (used for CI job summaries and
+  /// the orp_report analyzer output; `|` in cells is escaped).
+  void print_markdown(std::ostream& os) const;
   /// RFC-4180-ish CSV (cells containing commas/quotes are quoted).
   void write_csv(std::ostream& os) const;
   /// Writes CSV to `path`, creating missing parent directories (mkdir -p).

@@ -4,6 +4,7 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace orp {
 namespace {
@@ -45,18 +46,22 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_main() {
   for (;;) {
-    std::function<void()> job;
+    Task task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
-      job = std::move(queue_.front());
+      task = std::move(queue_.front());
       queue_.pop_front();
     }
     queue_depth_gauge().sub(1);
     {
+      // The span gives the flow head a slice to land on; Perfetto links
+      // the submitter's 's' event to this task via the shared flow id.
+      obs::Span span("threadpool.task", "pool");
+      obs::flow_end(task.flow, "threadpool.task", "pool");
       obs::ScopedTimer timer(task_latency_histogram());
-      job();
+      task.fn();
     }
   }
 }
@@ -114,16 +119,19 @@ void ThreadPool::parallel_for(std::size_t count,
   {
     std::lock_guard lock(mutex_);
     for (int i = 0; i < helpers; ++i) {
-      queue_.emplace_back([loop] {
-        loop->run_chunks();
-        if (loop->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          std::lock_guard done(loop->done_mutex);
-          loop->done_cv.notify_all();
-        }
-      });
+      // Flow capture at enqueue: one id per helper task, the 's' event
+      // lands inside the caller's current span (if any).
+      queue_.push_back(Task{[loop] {
+                              loop->run_chunks();
+                              if (loop->pending.fetch_sub(
+                                      1, std::memory_order_acq_rel) == 1) {
+                                std::lock_guard done(loop->done_mutex);
+                                loop->done_cv.notify_all();
+                              }
+                            },
+                            obs::flow_begin("threadpool.task", "pool")});
     }
   }
-  queue_depth_gauge().add(helpers);
   cv_.notify_all();
 
   loop->run_chunks();  // the caller works too

@@ -6,9 +6,17 @@
 // mutex-protected queue is sufficient; there is no work stealing. The pool
 // is created once and reused — creating threads per call would dominate the
 // millisecond-scale kernels it serves.
+//
+// Trace-context propagation: when work is enqueued from inside an active
+// obs::Span, each queued task captures a flow id at enqueue (emitting a
+// Chrome-trace 's' event under the submitter's span) and the worker emits
+// the matching 'f' head inside its "threadpool.task" span — so Perfetto
+// draws arrows from the submitting span to every task it fanned out,
+// giving parallel phases per-task attribution across threads.
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -39,11 +47,17 @@ class ThreadPool {
 
  private:
   struct ForLoop;
+  /// A queued job plus the trace-flow id captured at enqueue (0 when the
+  /// submitter was not inside a span or tracing is off).
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t flow = 0;
+  };
   void worker_main();
 
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::vector<std::thread> workers_;
   bool stopping_ = false;
 };

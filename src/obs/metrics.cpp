@@ -45,6 +45,35 @@ std::uint64_t HistogramSample::quantile(double q) const noexcept {
   return max;
 }
 
+double HistogramSample::quantile_interp(double q) const noexcept {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    if (seen + buckets[b] < rank) {
+      seen += buckets[b];
+      continue;
+    }
+    // The rank lands in bucket b: spread its samples uniformly across
+    // [lower, upper] and read off the centered position of this rank.
+    const double lower = static_cast<double>(detail::bucket_lower(b));
+    const double upper = static_cast<double>(detail::bucket_upper(b));
+    const double position =
+        (static_cast<double>(rank - seen) - 0.5) / static_cast<double>(buckets[b]);
+    double estimate = lower + (upper - lower) * position;
+    const double lo = static_cast<double>(min);
+    const double hi = static_cast<double>(max);
+    if (estimate < lo) estimate = lo;
+    if (estimate > hi) estimate = hi;
+    return estimate;
+  }
+  return static_cast<double>(max);
+}
+
 HistogramSample Histogram::sample() const noexcept {
   HistogramSample out;
   for (const Shard& shard : shards_) {

@@ -8,6 +8,7 @@
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 
 namespace orp::obs {
@@ -69,9 +70,13 @@ void flush_locked(SinkState& s) {
       }
       break;
     case SinkKind::kJsonl:
-      // Stops the trace writer and appends the metric records; if the
-      // tracer was already stopped (repeated flush) write nothing more.
-      Tracer::global().stop(snapshot_jsonl(snapshot));
+      // Stop and drain the snapshot sampler FIRST: its final tail sample
+      // must be in the tracer's buffer before the trailer is appended, so
+      // the end-of-run metric records are never interleaved with a partial
+      // snapshot. Then stop the trace writer and append the records; if
+      // the tracer was already stopped (repeated flush) write nothing more.
+      stop_snapshot_sampler();
+      Tracer::global().stop(snapshot_jsonl(Registry::global().snapshot()));
       break;
   }
 }
@@ -94,7 +99,9 @@ SinkConfig parse_sink(std::string_view spec) {
 
 SinkConfig sink_from_env() {
   const char* raw = std::getenv("ORP_OBS_OUT");
-  return parse_sink(raw ? std::string_view(raw) : std::string_view());
+  SinkConfig config = parse_sink(raw ? std::string_view(raw) : std::string_view());
+  config.snapshot_ms = snapshot_interval_from_env();
+  return config;
 }
 
 bool install_env_sink() {
@@ -119,6 +126,7 @@ bool configure(const SinkConfig& config) {
       s.config = SinkConfig{};
       return false;
     }
+    if (config.snapshot_ms > 0) start_snapshot_sampler(config.snapshot_ms);
   }
 #endif
   return true;
@@ -139,22 +147,25 @@ const SinkConfig& active_sink() {
 }
 
 Table metrics_table(const MetricsSnapshot& snapshot) {
-  Table table({"kind", "name", "value", "count", "mean", "p50", "p99", "max"});
+  Table table(
+      {"kind", "name", "value", "count", "mean", "p50", "p90", "p99", "max"});
   for (const CounterSample& c : snapshot.counters) {
     table.row().add("counter").add(c.name).add(static_cast<long long>(c.value))
-        .add("").add("").add("").add("").add("");
+        .add("").add("").add("").add("").add("").add("");
   }
   for (const GaugeSample& g : snapshot.gauges) {
     table.row().add("gauge").add(g.name).add(static_cast<long long>(g.value))
-        .add("").add("").add("").add("").add(static_cast<long long>(g.max));
+        .add("").add("").add("").add("").add("")
+        .add(static_cast<long long>(g.max));
   }
   for (const HistogramSample& h : snapshot.histograms) {
     table.row().add("histogram").add(h.name)
         .add(static_cast<long long>(h.sum))
         .add(static_cast<long long>(h.count))
         .add(h.mean(), 1)
-        .add(static_cast<long long>(h.quantile(0.5)))
-        .add(static_cast<long long>(h.quantile(0.99)))
+        .add(h.quantile_interp(0.5), 1)
+        .add(h.quantile_interp(0.9), 1)
+        .add(h.quantile_interp(0.99), 1)
         .add(static_cast<long long>(h.max));
   }
   return table;
@@ -184,8 +195,9 @@ std::vector<std::string> snapshot_jsonl(const MetricsSnapshot& snapshot) {
                        ",\"min\":" + std::to_string(h.min) +
                        ",\"max\":" + std::to_string(h.max) +
                        ",\"mean\":" + format_json_number(h.mean()) +
-                       ",\"p50\":" + std::to_string(h.quantile(0.5)) +
-                       ",\"p99\":" + std::to_string(h.quantile(0.99)) +
+                       ",\"p50\":" + format_json_number(h.quantile_interp(0.5)) +
+                       ",\"p90\":" + format_json_number(h.quantile_interp(0.9)) +
+                       ",\"p99\":" + format_json_number(h.quantile_interp(0.99)) +
                        ",\"buckets\":[";
     // Trailing zero buckets are trimmed to keep lines short; bucket i
     // counts values in [2^(i-1), 2^i).
@@ -216,11 +228,19 @@ void add_cli_options(CliParser& cli) {
              "telemetry sink: 'stderr', a .csv path, or a .jsonl trace path "
              "(default: $ORP_OBS_OUT)");
   cli.flag("obs-summary", "print the end-of-run metrics table on stdout");
+  cli.option("obs-snapshot-ms", "",
+             "metric snapshot interval for JSONL traces in ms, 0 disables "
+             "(default: $ORP_OBS_SNAPSHOT_MS or 250)");
 }
 
 bool apply_cli(const CliParser& cli) {
   const std::string spec = cli.get("obs-out");
-  return configure(spec.empty() ? sink_from_env() : parse_sink(spec));
+  SinkConfig config = spec.empty() ? sink_from_env() : parse_sink(spec);
+  const std::string interval = cli.get("obs-snapshot-ms");
+  config.snapshot_ms = interval.empty()
+                           ? snapshot_interval_from_env()
+                           : static_cast<std::uint32_t>(cli.get_int("obs-snapshot-ms"));
+  return configure(config);
 }
 
 bool cli_wants_summary(const CliParser& cli) {

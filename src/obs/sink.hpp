@@ -32,6 +32,10 @@ enum class SinkKind { kNone, kStderrSummary, kCsv, kJsonl };
 struct SinkConfig {
   SinkKind kind = SinkKind::kNone;
   std::string path;  ///< output file for kCsv / kJsonl
+  /// Metric-snapshot sampling interval for JSONL traces (ms); every
+  /// interval the background sampler emits per-instrument deltas as "C"
+  /// events (src/obs/snapshot.hpp). 0 disables sampling.
+  std::uint32_t snapshot_ms = 250;
 };
 
 /// Maps a spec string to a config: "" → none, "stderr" → summary,
@@ -60,8 +64,9 @@ void flush();
 /// The currently active sink.
 const SinkConfig& active_sink();
 
-/// Renders a snapshot as a table (kind/name/value/count/mean/p50/p99/max)
-/// using the shared Table so the summary matches the bench output style.
+/// Renders a snapshot as a table (kind/name/value/count/mean/p50/p90/p99/
+/// max; percentiles interpolated within log2 buckets) using the shared
+/// Table so the summary matches the bench output style.
 Table metrics_table(const MetricsSnapshot& snapshot);
 
 /// Prints the current registry contents as an aligned table.
@@ -75,7 +80,7 @@ std::vector<std::string> snapshot_jsonl(const MetricsSnapshot& snapshot);
 /// emit series like SA convergence traces next to the metrics CSV).
 bool write_csv(const Table& table, const std::string& path);
 
-/// Registers --obs-out and --obs-summary on a parser.
+/// Registers --obs-out, --obs-summary, and --obs-snapshot-ms on a parser.
 void add_cli_options(CliParser& cli);
 
 /// Applies --obs-out (falling back to ORP_OBS_OUT) after parse(). Returns

@@ -30,6 +30,13 @@ void append_event_json(std::string& out, const TraceEvent& e) {
   append_ts_us(out, e.ts_ns);
   out += ",\"pid\":1,\"tid\":";
   out += std::to_string(e.tid);
+  if (e.flow_id != 0) {
+    out += ",\"id\":";
+    out += std::to_string(e.flow_id);
+    // Flow heads bind to the enclosing slice ("bp":"e"), the modern binding
+    // Perfetto expects for same-process flows.
+    if (e.phase == TraceEvent::Phase::kFlowEnd) out += ",\"bp\":\"e\"";
+  }
   if (!e.args.empty()) {
     out += ",\"args\":{";
     bool first = true;
@@ -45,6 +52,10 @@ void append_event_json(std::string& out, const TraceEvent& e) {
   }
   out += "}\n";
 }
+
+// Per-thread count of live active Spans; flows are only attributable when
+// the producer sits inside one.
+thread_local int t_span_depth = 0;
 
 std::string format_double_json(double value) {
   // JSON has no inf/nan; clamp to a string so the line stays parseable.
@@ -194,6 +205,7 @@ void Tracer::write_events(const std::vector<TraceEvent>& events) {
 }
 
 void Span::emit_begin() {
+  ++t_span_depth;
   Tracer& tracer = Tracer::global();
   TraceEvent e;
   e.name = name_;
@@ -205,6 +217,7 @@ void Span::emit_begin() {
 }
 
 void Span::emit_end() {
+  --t_span_depth;
   Tracer& tracer = Tracer::global();
   TraceEvent e;
   e.name = name_;
@@ -213,6 +226,38 @@ void Span::emit_end() {
   e.ts_ns = tracer.now_ns();
   e.tid = Tracer::thread_id();
   e.args = std::move(args_);
+  tracer.emit(std::move(e));
+}
+
+bool in_span() noexcept { return t_span_depth > 0; }
+
+std::uint64_t flow_begin(const char* name, const char* category) {
+  Tracer& tracer = Tracer::global();
+  if (!tracer.enabled() || t_span_depth <= 0) return 0;
+  static std::atomic<std::uint64_t> next_id{1};
+  const std::uint64_t id = next_id.fetch_add(1, std::memory_order_relaxed);
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.phase = TraceEvent::Phase::kFlowStart;
+  e.ts_ns = tracer.now_ns();
+  e.tid = Tracer::thread_id();
+  e.flow_id = id;
+  tracer.emit(std::move(e));
+  return id;
+}
+
+void flow_end(std::uint64_t id, const char* name, const char* category) {
+  if (id == 0) return;
+  Tracer& tracer = Tracer::global();
+  if (!tracer.enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.phase = TraceEvent::Phase::kFlowEnd;
+  e.ts_ns = tracer.now_ns();
+  e.tid = Tracer::thread_id();
+  e.flow_id = id;
   tracer.emit(std::move(e));
 }
 

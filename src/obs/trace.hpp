@@ -27,16 +27,21 @@ namespace orp::obs {
 
 struct TraceEvent {
   enum class Phase : char {
-    kBegin = 'B',    ///< span opened
-    kEnd = 'E',      ///< span closed (carries the span's args)
-    kCounter = 'C',  ///< time-series sample
-    kInstant = 'i',  ///< point event
+    kBegin = 'B',      ///< span opened
+    kEnd = 'E',        ///< span closed (carries the span's args)
+    kCounter = 'C',    ///< time-series sample
+    kInstant = 'i',    ///< point event
+    kFlowStart = 's',  ///< flow arrow tail (producer side, inside a span)
+    kFlowEnd = 'f',    ///< flow arrow head (consumer side, bp:"e" binding)
   };
   std::string name;
   std::string category;
   Phase phase = Phase::kInstant;
   std::uint64_t ts_ns = 0;  ///< nanoseconds since tracer start
   std::uint32_t tid = 0;
+  /// Flow-event correlation id ("id" field); 0 means not a flow event.
+  /// Chrome/Perfetto bind s/f pairs on (cat, name, id).
+  std::uint64_t flow_id = 0;
   /// Key → pre-encoded JSON value ("3", "0.5", "\"text\"", "[1,2]").
   std::vector<std::pair<std::string, std::string>> args;
 };
@@ -126,6 +131,28 @@ class Span {
 /// included). Exposed for the sink layer and tests.
 std::string json_escape(std::string_view text);
 
+// ---- trace-context propagation (flow events) ----------------------------
+//
+// Work handed to another thread (the thread pool) keeps its attribution by
+// carrying a flow id: the producer calls flow_begin() while inside a span
+// (emitting an 's' event under that span), passes the returned id along
+// with the task, and the consumer calls flow_end(id, ...) inside the span
+// that executes the task (emitting the 'f' head). Perfetto then draws the
+// arrow from the enqueuing span to the task span.
+
+/// True when the calling thread currently has at least one active Span.
+bool in_span() noexcept;
+
+/// Emits a flow-start ('s') event and returns its correlation id. Returns 0
+/// (and emits nothing) when tracing is off or the caller is not inside a
+/// span — there is nothing to attribute the flow to.
+std::uint64_t flow_begin(const char* name, const char* category = "");
+
+/// Emits the matching flow-end ('f') head. No-op when `id` is 0. Call this
+/// inside the span that executes the handed-off work so the arrow has a
+/// slice to land on.
+void flow_end(std::uint64_t id, const char* name, const char* category = "");
+
 }  // namespace orp::obs
 
 #else  // ORP_OBS_DISABLED
@@ -137,7 +164,14 @@ std::string json_escape(std::string_view text);
 namespace orp::obs {
 
 struct TraceEvent {
-  enum class Phase : char { kBegin = 'B', kEnd = 'E', kCounter = 'C', kInstant = 'i' };
+  enum class Phase : char {
+    kBegin = 'B',
+    kEnd = 'E',
+    kCounter = 'C',
+    kInstant = 'i',
+    kFlowStart = 's',
+    kFlowEnd = 'f',
+  };
 };
 
 class Tracer {
@@ -166,6 +200,10 @@ class Span {
 };
 
 inline std::string json_escape(std::string_view text) { return std::string(text); }
+
+inline bool in_span() noexcept { return false; }
+inline std::uint64_t flow_begin(const char*, const char* = "") { return 0; }
+inline void flow_end(std::uint64_t, const char*, const char* = "") {}
 
 }  // namespace orp::obs
 

@@ -1,0 +1,560 @@
+#include "obs/trace_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/json.hpp"
+#include "common/table.hpp"
+
+namespace orp::obs::report {
+namespace {
+
+// One Chrome-trace event in parsed form; only the fields the analysis
+// needs. `ts` is microseconds (the unit the sink writes).
+struct Event {
+  char phase = '?';
+  double ts = 0.0;
+  std::int64_t tid = 0;
+  std::string category;
+  std::string name;
+  double value = 0.0;       // counter sample ("args":{"value":N})
+  std::uint64_t flow = 0;   // "id" on s/f events
+};
+
+double number_or(const JsonValue* v, double fallback) {
+  return (v && v->is_number()) ? v->as_number() : fallback;
+}
+
+std::string string_or(const JsonValue* v, const std::string& fallback) {
+  return (v && v->is_string()) ? v->as_string() : fallback;
+}
+
+/// Parses one JSONL line into `out`. Returns false when the line is not a
+/// well-formed event (the caller counts it as malformed). Lines carrying a
+/// "kind" key are the trailer metric records — valid, but not events; they
+/// set `*is_metric` instead.
+bool parse_line(const std::string& line, Event& out, bool* is_metric) {
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(line);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (!doc.is_object()) return false;
+  if (doc.find("kind") != nullptr) {
+    *is_metric = true;
+    return true;
+  }
+  const JsonValue* ph = doc.find("ph");
+  if (!ph || !ph->is_string() || ph->as_string().size() != 1) return false;
+  out.phase = ph->as_string()[0];
+  const JsonValue* ts = doc.find("ts");
+  if (!ts || !ts->is_number()) return false;
+  out.ts = ts->as_number();
+  out.tid = static_cast<std::int64_t>(number_or(doc.find("tid"), 0.0));
+  out.category = string_or(doc.find("cat"), "");
+  out.name = string_or(doc.find("name"), "");
+  out.flow = static_cast<std::uint64_t>(number_or(doc.find("id"), 0.0));
+  if (const JsonValue* args = doc.find("args")) {
+    out.value = number_or(args->find("value"), 0.0);
+  }
+  return true;
+}
+
+// An open span on a per-tid stack: children report their total duration
+// into `child_us` so the parent can subtract it (self time).
+struct OpenSpan {
+  std::string category;
+  std::string name;
+  double begin_ts = 0.0;
+  double child_us = 0.0;
+};
+
+struct SpanAccum {
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+  double self_us = 0.0;
+  double max_us = 0.0;
+};
+
+struct CounterAccum {
+  std::vector<std::pair<double, double>> samples;  // (ts, value)
+};
+
+using Key = std::pair<std::string, std::string>;  // (category, name)
+
+void close_span(std::map<Key, SpanAccum>& accum, std::vector<OpenSpan>& stack,
+                double end_ts) {
+  OpenSpan open = std::move(stack.back());
+  stack.pop_back();
+  const double total = std::max(0.0, end_ts - open.begin_ts);
+  const double self = std::max(0.0, total - open.child_us);
+  SpanAccum& a = accum[Key{open.category, open.name}];
+  a.count += 1;
+  a.total_us += total;
+  a.self_us += self;
+  a.max_us = std::max(a.max_us, total);
+  if (!stack.empty()) stack.back().child_us += total;
+}
+
+/// Best-so-far value of a (ts, value) series at time `t` (last sample with
+/// ts <= t); the first sample when `t` precedes the series.
+double value_at(const std::vector<std::pair<double, double>>& series, double t) {
+  double v = series.empty() ? 0.0 : series.front().second;
+  for (const auto& [ts, value] : series) {
+    if (ts > t) break;
+    v = value;
+  }
+  return v;
+}
+
+Convergence analyze_convergence(const std::map<Key, CounterAccum>& counters,
+                                std::size_t window_count) {
+  Convergence conv;
+  auto series = [&](const char* name) -> const std::vector<std::pair<double, double>>* {
+    auto it = counters.find(Key{"search", name});
+    return it == counters.end() ? nullptr : &it->second.samples;
+  };
+  const auto* best = series("annealer.best_haspl");
+  if (!best || best->empty()) return conv;
+  const auto* acceptance = series("annealer.acceptance_rate");
+  const auto* temperature = series("annealer.temperature");
+  const auto* iteration = series("annealer.iteration");
+
+  conv.present = true;
+  conv.samples = best->size();
+  conv.initial_best = best->front().second;
+  conv.final_best = best->back().second;
+
+  const double t0 = best->front().first;
+  const double t1 = best->back().first;
+  const double span_s = (t1 - t0) / 1e6;
+  if (span_s > 0) conv.improvement_per_s = (conv.initial_best - conv.final_best) / span_s;
+
+  // Last strict improvement of the best-so-far series. h-ASPL is minimized,
+  // so progress means the value went DOWN.
+  double last_improvement_ts = t0;
+  double prev = best->front().second;
+  for (const auto& [ts, value] : *best) {
+    if (value < prev - 1e-12) {
+      last_improvement_ts = ts;
+      prev = value;
+    }
+  }
+  conv.last_improvement_us = last_improvement_ts;
+  if (iteration && !iteration->empty()) {
+    conv.last_improvement_iter =
+        static_cast<std::int64_t>(value_at(*iteration, last_improvement_ts));
+  }
+  if (t1 > t0) conv.stall_fraction = (t1 - last_improvement_ts) / (t1 - t0);
+  // Stall verdict needs enough samples to mean anything: a 4-window run
+  // trivially has a large trailing gap.
+  conv.stalled = conv.samples >= 8 && conv.stall_fraction > 0.5;
+
+  // Equal time windows over the annealer's own span.
+  const std::size_t k = std::max<std::size_t>(1, window_count);
+  for (std::size_t w = 0; w < k; ++w) {
+    const double lo = t0 + (t1 - t0) * static_cast<double>(w) / static_cast<double>(k);
+    const double hi = t0 + (t1 - t0) * static_cast<double>(w + 1) / static_cast<double>(k);
+    ConvergenceWindow win;
+    win.t_end_us = hi;
+    auto mean_in = [&](const std::vector<std::pair<double, double>>* s) {
+      if (!s) return 0.0;
+      double sum = 0.0;
+      std::uint64_t n = 0;
+      for (const auto& [ts, value] : *s) {
+        // Half-open [lo, hi), closed at the final window so the last
+        // sample lands somewhere.
+        if (ts < lo || (ts >= hi && w + 1 != k) || ts > hi) continue;
+        sum += value;
+        ++n;
+      }
+      if (s == best) win.samples = n;
+      return n ? sum / static_cast<double>(n) : 0.0;
+    };
+    mean_in(best);  // populates win.samples
+    win.acceptance = mean_in(acceptance);
+    win.temperature = mean_in(temperature);
+    win.best_haspl = value_at(*best, hi);
+    conv.windows.push_back(win);
+  }
+  return conv;
+}
+
+std::string csv_cell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+TraceAnalysis analyze_trace(const std::vector<std::string>& lines,
+                            const ReportOptions& options) {
+  TraceAnalysis result;
+  std::vector<Event> events;
+  events.reserve(lines.size());
+  for (const std::string& line : lines) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    ++result.total_lines;
+    Event e;
+    bool is_metric = false;
+    if (!parse_line(line, e, &is_metric)) {
+      ++result.malformed_lines;
+      continue;
+    }
+    if (is_metric) {
+      ++result.metric_lines;
+      continue;
+    }
+    ++result.event_lines;
+    events.push_back(std::move(e));
+  }
+  if (events.empty()) return result;
+
+  // The tracer's writer thread drains per-batch, so events from different
+  // threads can interleave out of order; stable sort restores the timeline
+  // while keeping same-ts emission order (B before its own E).
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) { return a.ts < b.ts; });
+  const double t_first = events.front().ts;
+  const double t_last = events.back().ts;
+  result.duration_us = t_last - t_first;
+
+  std::map<std::int64_t, std::vector<OpenSpan>> stacks;
+  std::map<Key, SpanAccum> span_accum;
+  std::map<Key, CounterAccum> counter_accum;
+  std::map<std::uint64_t, unsigned> flow_seen;  // bit 0: s, bit 1: f
+
+  for (const Event& e : events) {
+    switch (e.phase) {
+      case 'B':
+        stacks[e.tid].push_back(OpenSpan{e.category, e.name, e.ts, 0.0});
+        break;
+      case 'E': {
+        auto& stack = stacks[e.tid];
+        if (stack.empty()) {
+          ++result.stray_ends;
+        } else {
+          close_span(span_accum, stack, e.ts);
+        }
+        break;
+      }
+      case 'C':
+        counter_accum[Key{e.category, e.name}].samples.emplace_back(e.ts, e.value);
+        break;
+      case 's':
+        ++result.flow_starts;
+        flow_seen[e.flow] |= 1u;
+        break;
+      case 'f':
+        ++result.flow_finishes;
+        flow_seen[e.flow] |= 2u;
+        break;
+      default:
+        break;  // X/M/i events are legal Chrome trace, just not analyzed
+    }
+  }
+  for (auto& [tid, stack] : stacks) {
+    result.threads += 1;
+    // Close leftovers at trace end (crash / missing Tracer::stop); innermost
+    // first so parents still subtract child time.
+    while (!stack.empty()) {
+      ++result.unclosed_spans;
+      close_span(span_accum, stack, t_last);
+    }
+  }
+  for (const auto& [id, bits] : flow_seen) {
+    if (bits == 3u) ++result.flow_matched;
+  }
+
+  for (const auto& [key, a] : span_accum) {
+    SpanStat s;
+    s.category = key.first;
+    s.name = key.second;
+    s.count = a.count;
+    s.total_us = a.total_us;
+    s.self_us = a.self_us;
+    s.max_us = a.max_us;
+    result.spans.push_back(std::move(s));
+  }
+  std::stable_sort(result.spans.begin(), result.spans.end(),
+                   [](const SpanStat& a, const SpanStat& b) {
+                     if (a.category != b.category) return a.category < b.category;
+                     if (a.self_us != b.self_us) return a.self_us > b.self_us;
+                     return a.name < b.name;
+                   });
+
+  for (const auto& [key, a] : counter_accum) {
+    CounterStat c;
+    c.category = key.first;
+    c.name = key.second;
+    c.samples = a.samples.size();
+    c.first = a.samples.front().second;
+    c.last = a.samples.back().second;
+    c.min = c.max = a.samples.front().second;
+    for (const auto& [ts, value] : a.samples) {
+      c.min = std::min(c.min, value);
+      c.max = std::max(c.max, value);
+      c.sum += value;
+    }
+    c.is_delta = key.first == "snapshot";
+    result.counters.push_back(std::move(c));
+  }
+
+  result.convergence = analyze_convergence(counter_accum, options.windows);
+  return result;
+}
+
+TraceAnalysis analyze_trace_file(const std::string& path,
+                                 const ReportOptions& options) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("orp_report: cannot open trace: " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(file, line)) lines.push_back(line);
+  return analyze_trace(lines, options);
+}
+
+std::vector<LedgerEntry> read_ledger_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("orp_report: cannot open ledger: " + path);
+  std::vector<LedgerEntry> entries;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    JsonValue doc;
+    try {
+      doc = JsonValue::parse(line);
+    } catch (const std::exception&) {
+      continue;  // a torn tail line must not sink the whole report
+    }
+    if (!doc.is_object()) continue;
+    if (string_or(doc.find("schema"), "") != "orp-run/1") continue;
+    LedgerEntry e;
+    e.ts = string_or(doc.find("ts"), "");
+    e.tool = string_or(doc.find("tool"), "");
+    e.git_sha = string_or(doc.find("git_sha"), "");
+    e.compiler = string_or(doc.find("compiler"), "");
+    e.wall_s = number_or(doc.find("wall_s"), 0.0);
+    e.peak_rss_kb = static_cast<std::int64_t>(number_or(doc.find("peak_rss_kb"), 0.0));
+    if (const JsonValue* notes = doc.find("notes"); notes && notes->is_object()) {
+      for (const auto& [key, value] : notes->members()) {
+        std::string rendered;
+        if (value.is_string()) rendered = value.as_string();
+        else if (value.is_number()) rendered = format_double(value.as_number(), 6);
+        else if (value.is_bool()) rendered = value.as_bool() ? "true" : "false";
+        e.notes.emplace_back(key, std::move(rendered));
+      }
+    }
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+std::string render_markdown(const TraceAnalysis& a,
+                            const std::vector<LedgerEntry>& ledger,
+                            const ReportOptions& options) {
+  std::ostringstream os;
+  os << "# orp_report\n\n";
+
+  os << "## Trace summary\n\n";
+  {
+    Table t({"metric", "value"});
+    t.row().add("lines").add(a.total_lines);
+    t.row().add("events").add(a.event_lines);
+    t.row().add("metric records").add(a.metric_lines);
+    t.row().add("malformed lines").add(a.malformed_lines);
+    t.row().add("threads").add(static_cast<std::size_t>(a.threads));
+    t.row().add("duration (ms)").add(a.duration_us / 1000.0, 3);
+    t.row().add("unclosed spans").add(a.unclosed_spans);
+    t.row().add("stray span ends").add(a.stray_ends);
+    t.row().add("flow events (s/f/matched)").add(
+        std::to_string(a.flow_starts) + "/" + std::to_string(a.flow_finishes) +
+        "/" + std::to_string(a.flow_matched));
+    t.print_markdown(os);
+  }
+
+  double total_self_us = 0.0;
+  for (const SpanStat& s : a.spans) total_self_us += s.self_us;
+  os << "\n## Span profile\n\n";
+  if (a.spans.empty()) {
+    os << "No spans recorded.\n";
+  } else {
+    os << "Self time sums to " << format_double(total_self_us / 1000.0, 3)
+       << " ms across " << a.spans.size() << " span kinds (top "
+       << options.top_k << " per category by self time).\n\n";
+    Table t({"category", "name", "count", "total ms", "self ms", "self %",
+             "mean us", "max us"});
+    std::string current_cat;
+    std::size_t shown_in_cat = 0;
+    for (const SpanStat& s : a.spans) {
+      if (s.category != current_cat) {
+        current_cat = s.category;
+        shown_in_cat = 0;
+      }
+      if (++shown_in_cat > options.top_k) continue;
+      t.row()
+          .add(s.category)
+          .add(s.name)
+          .add(static_cast<std::size_t>(s.count))
+          .add(s.total_us / 1000.0, 3)
+          .add(s.self_us / 1000.0, 3)
+          .add(total_self_us > 0 ? 100.0 * s.self_us / total_self_us : 0.0, 1)
+          .add(s.count ? s.total_us / static_cast<double>(s.count) : 0.0, 1)
+          .add(s.max_us, 1);
+    }
+    t.print_markdown(os);
+  }
+
+  os << "\n## Counters\n\n";
+  const bool any_delta =
+      std::any_of(a.counters.begin(), a.counters.end(),
+                  [](const CounterStat& c) { return c.is_delta; });
+  const bool any_level =
+      std::any_of(a.counters.begin(), a.counters.end(),
+                  [](const CounterStat& c) { return !c.is_delta; });
+  if (!any_delta && !any_level) os << "No counter series recorded.\n";
+  if (any_delta) {
+    os << "### Snapshot deltas (rates)\n\n";
+    Table t({"name", "samples", "total", "rate /s", "max delta"});
+    const double dur_s = a.duration_us / 1e6;
+    for (const CounterStat& c : a.counters) {
+      if (!c.is_delta) continue;
+      t.row()
+          .add(c.name)
+          .add(static_cast<std::size_t>(c.samples))
+          .add(c.sum, 3)
+          .add(dur_s > 0 ? c.sum / dur_s : 0.0, 1)
+          .add(c.max, 3);
+    }
+    t.print_markdown(os);
+    os << '\n';
+  }
+  if (any_level) {
+    os << "### Sampled levels\n\n";
+    Table t({"category", "name", "samples", "first", "last", "min", "max"});
+    for (const CounterStat& c : a.counters) {
+      if (c.is_delta) continue;
+      t.row()
+          .add(c.category)
+          .add(c.name)
+          .add(static_cast<std::size_t>(c.samples))
+          .add(c.first, 4)
+          .add(c.last, 4)
+          .add(c.min, 4)
+          .add(c.max, 4);
+    }
+    t.print_markdown(os);
+  }
+
+  os << "\n## Annealer convergence\n\n";
+  const Convergence& conv = a.convergence;
+  if (!conv.present) {
+    os << "No annealer telemetry in this trace.\n";
+  } else {
+    os << "- samples: " << conv.samples << "\n";
+    os << "- h-ASPL: " << format_double(conv.initial_best, 6) << " -> "
+       << format_double(conv.final_best, 6) << " (improvement "
+       << format_double(conv.initial_best - conv.final_best, 6) << ", "
+       << format_double(conv.improvement_per_s, 6) << "/s)\n";
+    os << "- last improvement at " << format_double(conv.last_improvement_us / 1000.0, 3)
+       << " ms";
+    if (conv.last_improvement_iter >= 0) {
+      os << " (iteration " << conv.last_improvement_iter << ")";
+    }
+    os << "\n";
+    os << "- verdict: "
+       << (conv.stalled ? "STALLED" : "progressing")
+       << " (trailing " << format_double(100.0 * conv.stall_fraction, 1)
+       << "% of the run without improvement)\n\n";
+    Table t({"window", "t_end ms", "samples", "acceptance", "temperature",
+             "best h-ASPL"});
+    for (std::size_t w = 0; w < conv.windows.size(); ++w) {
+      const ConvergenceWindow& win = conv.windows[w];
+      t.row()
+          .add(w + 1)
+          .add(win.t_end_us / 1000.0, 3)
+          .add(static_cast<std::size_t>(win.samples))
+          .add(win.acceptance, 4)
+          .add(win.temperature, 4)
+          .add(win.best_haspl, 6);
+    }
+    t.print_markdown(os);
+  }
+
+  if (!ledger.empty()) {
+    os << "\n## Run ledger\n\n";
+    Table t({"ts", "tool", "git sha", "compiler", "wall s", "peak RSS kB"});
+    // Most recent last — matches the append order of .orp/runs.jsonl.
+    for (const LedgerEntry& e : ledger) {
+      t.row()
+          .add(e.ts)
+          .add(e.tool)
+          .add(e.git_sha)
+          .add(e.compiler)
+          .add(e.wall_s, 3)
+          .add(static_cast<long long>(e.peak_rss_kb));
+    }
+    t.print_markdown(os);
+  }
+  return os.str();
+}
+
+std::string render_csv(const TraceAnalysis& a, const ReportOptions& options) {
+  std::ostringstream os;
+  os << "section,category,name,count,x1,x2,x3,x4\n";
+  auto emit = [&](const std::string& section, const std::string& category,
+                  const std::string& name, std::uint64_t count, double x1,
+                  double x2, double x3, double x4) {
+    os << csv_cell(section) << ',' << csv_cell(category) << ','
+       << csv_cell(name) << ',' << count << ',' << format_double(x1, 6) << ','
+       << format_double(x2, 6) << ',' << format_double(x3, 6) << ','
+       << format_double(x4, 6) << '\n';
+  };
+  emit("summary", "", "lines", a.total_lines, static_cast<double>(a.event_lines),
+       static_cast<double>(a.metric_lines), static_cast<double>(a.malformed_lines),
+       a.duration_us);
+  emit("summary", "", "flows", a.flow_starts, static_cast<double>(a.flow_finishes),
+       static_cast<double>(a.flow_matched), static_cast<double>(a.unclosed_spans),
+       static_cast<double>(a.stray_ends));
+  std::string current_cat;
+  std::size_t shown_in_cat = 0;
+  for (const SpanStat& s : a.spans) {
+    if (s.category != current_cat) {
+      current_cat = s.category;
+      shown_in_cat = 0;
+    }
+    if (++shown_in_cat > options.top_k) continue;
+    emit("span", s.category, s.name, s.count, s.total_us, s.self_us, s.max_us,
+         s.count ? s.total_us / static_cast<double>(s.count) : 0.0);
+  }
+  for (const CounterStat& c : a.counters) {
+    emit(c.is_delta ? "counter_delta" : "counter_level", c.category, c.name,
+         c.samples, c.is_delta ? c.sum : c.first, c.is_delta ? c.max : c.last,
+         c.min, c.max);
+  }
+  if (a.convergence.present) {
+    const Convergence& conv = a.convergence;
+    emit("convergence", "search", "best_haspl", conv.samples, conv.initial_best,
+         conv.final_best, conv.improvement_per_s, conv.stall_fraction);
+    for (std::size_t w = 0; w < conv.windows.size(); ++w) {
+      const ConvergenceWindow& win = conv.windows[w];
+      emit("convergence_window", "search", "window" + std::to_string(w + 1),
+           win.samples, win.t_end_us, win.acceptance, win.temperature,
+           win.best_haspl);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace orp::obs::report

@@ -1,0 +1,119 @@
+#pragma once
+// Offline analysis of the JSONL traces this repo records (docs/obs.md):
+// the engine behind tools/orp_report. Reads a trace (plus optionally the
+// run ledger) and produces
+//
+//   * a flamegraph-style span profile: per (category, name) count, total
+//     time, and SELF time (total minus enclosed children), from the B/E
+//     pairing per tid,
+//   * counter-series summaries: the snapshot sampler's delta streams
+//     (category "snapshot") become totals and rates; sampled level series
+//     (annealer temperature, gauges) report first/last/min/max,
+//   * flow-event accounting: s/f id pairing across threads,
+//   * annealer convergence diagnostics: windowed acceptance rate vs
+//     temperature, h-ASPL improvement per second, and stall detection.
+//
+// Analysis is pure and deterministic: the same trace bytes produce the
+// same analysis and byte-identical rendered reports. This code does not
+// depend on the instrumentation layer, so it builds (and the tests run)
+// under ORP_OBS_DISABLED too.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace orp::obs::report {
+
+struct SpanStat {
+  std::string category;
+  std::string name;
+  std::uint64_t count = 0;
+  double total_us = 0.0;  ///< sum over instances, children included
+  double self_us = 0.0;   ///< sum over instances, children excluded
+  double max_us = 0.0;    ///< longest single instance (total time)
+};
+
+struct CounterStat {
+  std::string category;
+  std::string name;
+  std::uint64_t samples = 0;
+  double first = 0.0, last = 0.0;
+  double min = 0.0, max = 0.0;
+  double sum = 0.0;       ///< sum of sample values
+  bool is_delta = false;  ///< snapshot-sampler stream: values are deltas,
+                          ///< so sum is a total and sum/duration is a rate
+};
+
+struct ConvergenceWindow {
+  double t_end_us = 0.0;       ///< window upper edge
+  std::uint64_t samples = 0;   ///< annealer samples inside the window
+  double acceptance = 0.0;     ///< mean windowed acceptance rate
+  double temperature = 0.0;    ///< mean temperature
+  double best_haspl = 0.0;     ///< best-so-far h-ASPL at window end
+};
+
+struct Convergence {
+  bool present = false;  ///< annealer.* series were found in the trace
+  std::uint64_t samples = 0;
+  double initial_best = 0.0, final_best = 0.0;
+  double improvement_per_s = 0.0;  ///< h-ASPL drop per wall second (>0 improving)
+  double last_improvement_us = 0.0;
+  std::int64_t last_improvement_iter = -1;  ///< -1 when no iteration series
+  double stall_fraction = 0.0;  ///< trailing fraction of the run w/o improvement
+  bool stalled = false;         ///< no progress through the trailing half
+  std::vector<ConvergenceWindow> windows;
+};
+
+/// One parsed run-ledger record (src/obs/ledger.hpp schema).
+struct LedgerEntry {
+  std::string ts, tool, git_sha, compiler;
+  double wall_s = 0.0;
+  std::int64_t peak_rss_kb = 0;
+  std::vector<std::pair<std::string, std::string>> notes;
+};
+
+struct TraceAnalysis {
+  std::size_t total_lines = 0;
+  std::size_t event_lines = 0;      ///< Chrome-trace events (ph present)
+  std::size_t metric_lines = 0;     ///< trailer metric records (kind present)
+  std::size_t malformed_lines = 0;  ///< rejected lines (bad JSON / no schema)
+  std::size_t unclosed_spans = 0;   ///< B without E (closed at trace end)
+  std::size_t stray_ends = 0;       ///< E without a matching open B
+  double duration_us = 0.0;         ///< last event ts minus first event ts
+  std::uint32_t threads = 0;        ///< distinct tids seen
+  std::uint64_t flow_starts = 0, flow_finishes = 0, flow_matched = 0;
+  std::vector<SpanStat> spans;        ///< sorted: category, self time desc
+  std::vector<CounterStat> counters;  ///< sorted: category, name
+  Convergence convergence;
+};
+
+struct ReportOptions {
+  std::size_t top_k = 20;    ///< spans listed per category
+  std::size_t windows = 8;   ///< convergence windows
+};
+
+/// Analyzes in-memory JSONL lines (exposed for tests).
+TraceAnalysis analyze_trace(const std::vector<std::string>& lines,
+                            const ReportOptions& options = {});
+
+/// Reads and analyzes a trace file. Throws std::runtime_error when the
+/// file cannot be opened.
+TraceAnalysis analyze_trace_file(const std::string& path,
+                                 const ReportOptions& options = {});
+
+/// Parses a run-ledger JSONL file; malformed lines are skipped. Throws
+/// std::runtime_error when the file cannot be opened.
+std::vector<LedgerEntry> read_ledger_file(const std::string& path);
+
+/// Renders the analysis as markdown (byte-deterministic). `ledger` may be
+/// empty; when non-empty the most recent entries are appended.
+std::string render_markdown(const TraceAnalysis& analysis,
+                            const std::vector<LedgerEntry>& ledger = {},
+                            const ReportOptions& options = {});
+
+/// Renders the analysis as one flat CSV (section,category,name,count,
+/// x1..x4; column meaning depends on section — see docs/obs.md).
+std::string render_csv(const TraceAnalysis& analysis,
+                       const ReportOptions& options = {});
+
+}  // namespace orp::obs::report

@@ -225,21 +225,24 @@ AnnealResult anneal(const HostSwitchGraph& initial, const AnnealOptions& options
                           : std::max<std::uint64_t>(1, options.iterations / 64);
   std::uint64_t window_moves = 0;
   std::uint64_t window_accepted = 0;
-  auto emit_window = [&] {
+  auto emit_window = [&](std::uint64_t at_iter) {
     obs::Tracer& tracer = obs::Tracer::global();
     if (!tracer.enabled()) return;
     const double rate = window_moves
                             ? static_cast<double>(window_accepted) /
                                   static_cast<double>(window_moves)
                             : 0.0;
+    // The iteration series lets orp_report map wall-clock positions (e.g.
+    // "progress flat-lined at t") back to an iteration number.
+    tracer.counter("annealer.iteration", static_cast<double>(at_iter), "search");
     tracer.counter("annealer.acceptance_rate", rate, "search");
     tracer.counter("annealer.temperature", temperature, "search");
     tracer.counter("annealer.current_haspl", current_metrics.h_aspl, "search");
     tracer.counter("annealer.best_haspl", result.best_metrics.h_aspl, "search");
   };
 
-  for (std::uint64_t iter = 0; iter < options.iterations;
-       ++iter, temperature *= cooling) {
+  std::uint64_t iter = 0;
+  for (; iter < options.iterations; ++iter, temperature *= cooling) {
     if (shutdown_requested()) {
       // SIGINT/SIGTERM: wind down and hand back the best-so-far.
       result.interrupted = true;
@@ -250,7 +253,7 @@ AnnealResult anneal(const HostSwitchGraph& initial, const AnnealOptions& options
                               result.best_metrics.h_aspl, temperature});
     }
     if (iter % window == 0) {
-      emit_window();
+      emit_window(iter);
       window_moves = 0;
       window_accepted = 0;
     }
@@ -319,7 +322,7 @@ AnnealResult anneal(const HostSwitchGraph& initial, const AnnealOptions& options
     revert_move();
     instruments.restored.inc();
   }
-  emit_window();
+  emit_window(iter);
 
   span.arg("evaluations", result.evaluations);
   span.arg("accepted", result.accepted);

@@ -11,7 +11,9 @@
 #include <cstdio>
 #include <type_traits>
 
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 
 namespace orp::obs {
@@ -47,6 +49,7 @@ int main() {
   histogram.record(42);
   { ScopedTimer timer(histogram); }
   if (histogram.sample().count != 0) return 1;
+  if (histogram.sample().quantile_interp(0.5) != 0.0) return 1;
 
   {
     Span span("disabled.span", "test");
@@ -56,6 +59,28 @@ int main() {
   }
 
   if (!Registry::global().snapshot().empty()) return 1;
+
+  // Flow-event stubs: no span context, no ids, no emission.
+  if (in_span()) return 1;
+  const std::uint64_t flow = flow_begin("disabled.flow", "test");
+  if (flow != 0) return 1;
+  flow_end(flow, "disabled.flow", "test");
+
+  // Snapshot-sampler stubs: never start, never report running.
+  if (snapshot_interval_from_env() != 0) return 1;
+  if (start_snapshot_sampler(kDefaultSnapshotMs)) return 1;
+  stop_snapshot_sampler();
+  if (snapshot_sampler_running()) return 1;
+
+  // Run-ledger stubs: disabled means no path, no record, no file I/O.
+  if (!ledger_path().empty()) return 1;
+  ledger_capture_argv(0, nullptr);
+  ledger_note("key", "value");
+  ledger_note("pi", 3.14);
+  ledger_note("n", static_cast<std::int64_t>(256));
+  ledger_artifact("never/written.jsonl");
+  if (append_run_ledger()) return 1;
+  if (ledger_append_line("never/written.jsonl", "{}")) return 1;
 
   std::puts("ORP_OBS_DISABLED stubs OK");
   return 0;

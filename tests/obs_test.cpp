@@ -4,17 +4,22 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
+#include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 
 #ifdef ORP_OBS_DISABLED
@@ -323,6 +328,35 @@ TEST(ObsHistogram, QuantileReportsBucketEdgeClampedByExtrema) {
   EXPECT_EQ(single.quantile(1.0), 6u);
 }
 
+TEST(ObsHistogram, InterpolatedQuantilesTrackUniformData) {
+  obs::Histogram& histogram =
+      obs::Registry::global().histogram("test.histogram.interp");
+  histogram.reset();
+  for (std::uint64_t v = 1; v <= 1000; ++v) histogram.record(v);
+  const obs::HistogramSample sample = histogram.sample();
+  const double p50 = sample.quantile_interp(0.5);
+  const double p90 = sample.quantile_interp(0.9);
+  const double p99 = sample.quantile_interp(0.99);
+  // Interpolation within the log2 bucket lands near the true percentile
+  // (500), not at the bucket edge the integer quantile() reports (511).
+  EXPECT_GE(p50, 450.0);
+  EXPECT_LE(p50, 550.0);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // The open-ended estimate clamps to the observed extrema.
+  EXPECT_LE(p99, 1000.0);
+  EXPECT_GE(sample.quantile_interp(0.0), 1.0);
+
+  // A repeated single value is reported exactly, not as a bucket midpoint.
+  histogram.reset();
+  histogram.record(6);
+  histogram.record(6);
+  EXPECT_DOUBLE_EQ(histogram.sample().quantile_interp(0.5), 6.0);
+
+  histogram.reset();
+  EXPECT_DOUBLE_EQ(histogram.sample().quantile_interp(0.5), 0.0);
+}
+
 TEST(ObsScopedTimer, RecordsPositiveLatency) {
   obs::Histogram& histogram = obs::Registry::global().histogram("test.histogram.timer");
   histogram.reset();
@@ -376,7 +410,7 @@ TEST(ObsSummary, TableHasOneRowPerInstrument) {
   snapshot.histograms.push_back(h);
   const Table table = obs::metrics_table(snapshot);
   EXPECT_EQ(table.rows(), 3u);
-  EXPECT_EQ(table.columns(), 8u);
+  EXPECT_EQ(table.columns(), 9u);  // kind/name/value/count/mean/p50/p90/p99/max
 }
 
 // ---- tracing + JSONL sink ----------------------------------------------
@@ -507,6 +541,153 @@ TEST(ObsSink, CsvSinkEscapesDelimitersAndQuotes) {
     }
   }
   EXPECT_TRUE(found);
+  std::remove(path.c_str());
+}
+
+// ---- snapshot sampler ---------------------------------------------------
+
+TEST(ObsSnapshot, SamplerEmitsCounterDeltasThatSumToTheTotal) {
+  const std::string path = temp_path("obs_snapshot.jsonl");
+  obs::SinkConfig config = obs::parse_sink(path);
+  config.snapshot_ms = 2;
+  ASSERT_TRUE(obs::configure(config));
+  EXPECT_TRUE(obs::snapshot_sampler_running());
+
+  obs::Counter& counter =
+      obs::Registry::global().counter("test.sampler.delta_counter");
+  obs::Histogram& histogram =
+      obs::Registry::global().histogram("test.sampler.delta_ns");
+  constexpr std::uint64_t kTotal = 40;
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    counter.add(1);
+    histogram.record(i + 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  obs::flush();
+  EXPECT_FALSE(obs::snapshot_sampler_running());
+
+  // The per-interval deltas (several ticks plus the drained tail sample)
+  // must sum back to exactly what was recorded — nothing lost, nothing
+  // double-counted.
+  double counter_sum = 0.0, hist_count_sum = 0.0;
+  std::size_t counter_samples = 0;
+  for (const std::string& line : read_lines(path)) {
+    ASSERT_TRUE(is_json_object_line(line)) << line;
+    if (line.find("\"cat\":\"snapshot\"") == std::string::npos) continue;
+    const JsonValue doc = JsonValue::parse(line);
+    const double value = doc.at("args").at("value").as_number();
+    const std::string& name = doc.at("name").as_string();
+    if (name == "test.sampler.delta_counter") {
+      counter_sum += value;
+      ++counter_samples;
+    }
+    if (name == "test.sampler.delta_ns.count") hist_count_sum += value;
+  }
+  EXPECT_DOUBLE_EQ(counter_sum, static_cast<double>(kTotal));
+  EXPECT_DOUBLE_EQ(hist_count_sum, static_cast<double>(kTotal));
+  // Sampling actually happened periodically: the total arrived in more
+  // than one delta (40ms of activity vs a 2ms interval).
+  EXPECT_GT(counter_samples, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ObsSnapshot, ConcurrentUpdatesWhileSamplingStayWellFormed) {
+  // TSan target (see .github/workflows/ci.yml): four threads hammer a
+  // counter and a histogram while the 1ms sampler reads them.
+  const std::string path = temp_path("obs_snapshot_concurrent.jsonl");
+  obs::SinkConfig config = obs::parse_sink(path);
+  config.snapshot_ms = 1;
+  ASSERT_TRUE(obs::configure(config));
+  obs::Counter& counter =
+      obs::Registry::global().counter("test.sampler.hammer_counter");
+  obs::Histogram& histogram =
+      obs::Registry::global().histogram("test.sampler.hammer_ns");
+  ThreadPool pool(4);
+  constexpr std::size_t kIterations = 200000;
+  pool.parallel_for(kIterations, [&](std::size_t i) {
+    counter.add(1);
+    histogram.record(i & 1023);
+  });
+  obs::flush();
+  EXPECT_EQ(counter.value(), kIterations);
+  for (const std::string& line : read_lines(path)) {
+    ASSERT_TRUE(is_json_object_line(line)) << "torn line: " << line;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ObsSnapshot, FlushStopsSamplerBeforeTrailerRecords) {
+  // Regression test for the flush ordering: the sampler is stopped and its
+  // tail sample drained before the end-of-run metric records, so no
+  // snapshot C event may appear after the first "kind" trailer line.
+  const std::string path = temp_path("obs_snapshot_order.jsonl");
+  obs::SinkConfig config = obs::parse_sink(path);
+  config.snapshot_ms = 1;
+  ASSERT_TRUE(obs::configure(config));
+  obs::Counter& counter =
+      obs::Registry::global().counter("test.sampler.order_counter");
+  for (int i = 0; i < 20; ++i) {
+    counter.add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  obs::flush();
+  const std::vector<std::string> lines = read_lines(path);
+  bool saw_trailer = false;
+  bool saw_snapshot = false;
+  for (const std::string& line : lines) {
+    if (line.find("\"kind\":") != std::string::npos) saw_trailer = true;
+    if (line.find("\"cat\":\"snapshot\"") != std::string::npos) {
+      saw_snapshot = true;
+      EXPECT_FALSE(saw_trailer)
+          << "snapshot C event after the metric trailer: " << line;
+    }
+  }
+  EXPECT_TRUE(saw_trailer);
+  EXPECT_TRUE(saw_snapshot);
+  std::remove(path.c_str());
+}
+
+// ---- flow events through the thread pool --------------------------------
+
+TEST(ObsFlow, ParallelForTasksCarryFlowEvents) {
+  const std::string path = temp_path("obs_flow.jsonl");
+  obs::SinkConfig config = obs::parse_sink(path);
+  config.snapshot_ms = 0;  // keep the trace to spans + flows
+  ASSERT_TRUE(obs::configure(config));
+  ThreadPool pool(4);
+  {
+    obs::Span span("submit", "test");
+    pool.parallel_for(10000, [](std::size_t) {});
+  }
+  // Outside any span there is nothing to attribute the tasks to: no flows.
+  pool.parallel_for(10000, [](std::size_t) {});
+  obs::flush();
+
+  std::vector<std::uint64_t> start_ids, finish_ids;
+  for (const std::string& line : read_lines(path)) {
+    ASSERT_TRUE(is_json_object_line(line)) << line;
+    if (line.find("\"name\":\"threadpool.task\"") == std::string::npos) continue;
+    const bool is_start = line.find("\"ph\":\"s\"") != std::string::npos;
+    const bool is_finish = line.find("\"ph\":\"f\"") != std::string::npos;
+    if (!is_start && !is_finish) continue;
+    const JsonValue doc = JsonValue::parse(line);
+    const std::uint64_t id =
+        static_cast<std::uint64_t>(doc.at("id").as_number());
+    EXPECT_NE(id, 0u);
+    if (is_start) start_ids.push_back(id);
+    if (is_finish) {
+      finish_ids.push_back(id);
+      // Flow heads bind to the enclosing slice, the binding Perfetto
+      // expects for linking the arrow to the worker's task span.
+      EXPECT_NE(line.find("\"bp\":\"e\""), std::string::npos) << line;
+    }
+  }
+  // One helper task per worker was enqueued inside the span; every 's'
+  // tail has exactly one matching 'f' head, by id.
+  EXPECT_FALSE(start_ids.empty());
+  std::sort(start_ids.begin(), start_ids.end());
+  std::sort(finish_ids.begin(), finish_ids.end());
+  EXPECT_EQ(start_ids, finish_ids);
   std::remove(path.c_str());
 }
 

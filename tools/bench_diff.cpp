@@ -13,6 +13,7 @@
 // use the default tolerance for same-machine before/after comparisons.
 
 #include <exception>
+#include <fstream>
 #include <iostream>
 
 #include "common/cli.hpp"
@@ -30,6 +31,9 @@ int main(int argc, char** argv) {
              "noise guard: slowdown must also exceed this many MADs");
   cli.option("abs-floor-ns", "10",
              "ignore absolute deltas below this many ns/op");
+  cli.option("markdown", "",
+             "also write the comparison as a markdown table to this path "
+             "(CI appends it to the job summary)");
   try {
     if (!cli.parse(argc, argv)) return 0;
   } catch (const std::invalid_argument& e) {
@@ -81,6 +85,32 @@ int main(int argc, char** argv) {
     std::cerr << "error: the reports share no benchmark series\n";
     return 2;
   }
+
+  if (const std::string md_path = cli.get("markdown"); !md_path.empty()) {
+    std::ofstream md(md_path);
+    if (!md) {
+      std::cerr << "error: cannot write " << md_path << "\n";
+      return 2;
+    }
+    std::size_t regressed = 0;
+    for (const DiffRow& row : diff.rows) regressed += row.regressed ? 1u : 0u;
+    md << "## Benchmark comparison\n\n";
+    md << "- baseline: `" << cli.positional()[0] << "` (git "
+       << baseline.provenance.git_sha << ", " << baseline.provenance.compiler
+       << ")\n";
+    md << "- current: `" << cli.positional()[1] << "` (git "
+       << current.provenance.git_sha << ", " << current.provenance.compiler
+       << ")\n";
+    md << "- verdict: "
+       << (diff.any_regression
+               ? "**FAIL** — " + std::to_string(regressed) + "/" +
+                     std::to_string(diff.rows.size()) + " series regressed"
+               : "OK — no series regressed")
+       << " beyond tolerance " << format_double(options.tolerance, 2)
+       << "\n\n";
+    diff_table(diff).print_markdown(md);
+  }
+
   if (diff.any_regression) {
     std::size_t regressed = 0;
     for (const DiffRow& row : diff.rows) regressed += row.regressed ? 1u : 0u;
