@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 
 #include "common/cli.hpp"
@@ -20,6 +21,7 @@
 #include "obs/sink.hpp"
 #include "search/solver.hpp"
 #include "sim/nas.hpp"
+#include "sim/telemetry/telemetry.hpp"
 #include "topo/attach.hpp"
 
 namespace orp::bench {
@@ -80,8 +82,16 @@ inline bool parse_cli_with_obs(CliParser& cli, int argc, const char* const* argv
   cli.option("eval", "delta",
              "h-ASPL evaluation in SA: delta (incremental) or full "
              "(from-scratch per move)");
+  cli.option("net-telemetry", "",
+             "network telemetry spec: off, on, default, or knob=value list "
+             "(e.g. flow_sample=4,link_steps=64 — see docs/telemetry.md)");
   if (!cli.parse(argc, argv)) return false;
   obs::apply_cli(cli);
+  if (const std::string spec = cli.get("net-telemetry"); !spec.empty()) {
+    if (!apply_net_telemetry_spec(spec)) {
+      throw std::invalid_argument("bad --net-telemetry spec: " + spec);
+    }
+  }
   // Start the run-ledger clock and remember argv; finish_obs appends the
   // record, so every bench invocation lands in $ORP_RUN_LEDGER.
   obs::ledger_capture_argv(argc, argv);

@@ -167,6 +167,7 @@ DiffResult diff_reports(const BenchReport& baseline, const BenchReport& current,
                         const DiffOptions& options) {
   DiffResult out;
   out.mode_mismatch = baseline.quick != current.quick;
+  out.counters_mismatch = baseline.counters_source != current.counters_source;
   for (const BenchEntry& b : baseline.entries) {
     const BenchEntry* c = current.find(b.name);
     if (!c) {
@@ -186,6 +187,13 @@ DiffResult diff_reports(const BenchReport& baseline, const BenchReport& current,
                     delta > noise_floor;
     row.improved = b.wall.median_ns > c->wall.median_ns * (1.0 + options.tolerance) &&
                    -delta > noise_floor;
+    if (b.hw.valid && c->hw.valid) {
+      row.hw_valid = true;
+      row.old_cycles = b.hw.cycles;
+      row.new_cycles = c->hw.cycles;
+      row.old_ipc = b.hw.ipc;
+      row.new_ipc = c->hw.ipc;
+    }
     out.any_regression = out.any_regression || row.regressed;
     out.rows.push_back(std::move(row));
   }
@@ -195,8 +203,14 @@ DiffResult diff_reports(const BenchReport& baseline, const BenchReport& current,
   return out;
 }
 
-Table diff_table(const DiffResult& diff) {
-  Table table({"benchmark", "old ns/op", "new ns/op", "ratio", "verdict"});
+Table diff_table(const DiffResult& diff, bool include_hw) {
+  std::vector<std::string> header = {"benchmark", "old ns/op", "new ns/op",
+                                     "ratio", "verdict"};
+  if (include_hw) {
+    header.insert(header.end(),
+                  {"old cyc/op", "new cyc/op", "old IPC", "new IPC"});
+  }
+  Table table(std::move(header));
   for (const DiffRow& row : diff.rows) {
     table.row()
         .add(row.name)
@@ -204,6 +218,16 @@ Table diff_table(const DiffResult& diff) {
         .add(row.new_median_ns, 1)
         .add(row.ratio, 3)
         .add(row.regressed ? "REGRESSED" : (row.improved ? "improved" : "ok"));
+    if (include_hw) {
+      if (row.hw_valid) {
+        table.add(row.old_cycles, 1)
+            .add(row.new_cycles, 1)
+            .add(row.old_ipc, 3)
+            .add(row.new_ipc, 3);
+      } else {
+        table.add("-").add("-").add("-").add("-");
+      }
+    }
   }
   return table;
 }

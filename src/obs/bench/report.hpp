@@ -104,6 +104,11 @@ struct DiffRow {
   double ratio = 1.0;  ///< new / old
   bool regressed = false;
   bool improved = false;
+  /// Hardware-counter medians when BOTH reports carry valid perf_event
+  /// data for the series (informational — never part of the verdict).
+  bool hw_valid = false;
+  double old_cycles = 0.0, new_cycles = 0.0;
+  double old_ipc = 0.0, new_ipc = 0.0;
 };
 
 struct DiffResult {
@@ -111,6 +116,10 @@ struct DiffResult {
   std::vector<std::string> only_baseline;  ///< disappeared series (warned)
   std::vector<std::string> only_current;   ///< new series (informational)
   bool mode_mismatch = false;              ///< quick vs full comparison
+  /// The reports disagree on counters_source (perf_event vs rusage), so
+  /// hardware-counter columns would compare different instruments —
+  /// bench_diff warns and renders the table without them.
+  bool counters_mismatch = false;
   bool any_regression = false;
 };
 
@@ -118,6 +127,9 @@ DiffResult diff_reports(const BenchReport& baseline, const BenchReport& current,
                         const DiffOptions& options = {});
 
 /// Renders the diff as an aligned table (name, old, new, ratio, verdict).
-Table diff_table(const DiffResult& diff);
+/// With `include_hw`, appends cycle/IPC columns ("-" for rows lacking
+/// valid counters on either side); callers should pass false when
+/// DiffResult::counters_mismatch is set.
+Table diff_table(const DiffResult& diff, bool include_hw = false);
 
 }  // namespace orp::obs::bench

@@ -18,6 +18,7 @@ struct SinkState {
   std::mutex mutex;
   SinkConfig config;
   bool atexit_registered = false;
+  std::vector<std::function<void()>> flush_hooks;
 };
 
 SinkState& state() {
@@ -57,6 +58,9 @@ bool write_metrics_csv(const std::string& path, const MetricsSnapshot& snapshot)
 }
 
 void flush_locked(SinkState& s) {
+  // Flush hooks first: buffered producers (sim telemetry reservoirs) get
+  // to emit into the still-running tracer before it stops below.
+  for (const std::function<void()>& hook : s.flush_hooks) hook();
   const MetricsSnapshot snapshot = Registry::global().snapshot();
   switch (s.config.kind) {
     case SinkKind::kNone:
@@ -140,6 +144,12 @@ void flush() {
     // The trace file is closed now; later flushes must not reopen it.
     s.config = SinkConfig{};
   }
+}
+
+void register_flush_hook(std::function<void()> hook) {
+  SinkState& s = state();
+  std::lock_guard lock(s.mutex);
+  s.flush_hooks.push_back(std::move(hook));
 }
 
 const SinkConfig& active_sink() {

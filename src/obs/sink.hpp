@@ -14,6 +14,7 @@
 // cheap no-ops (the summary reports the layer as compiled out) so
 // examples/benches build identically in both modes.
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -60,6 +61,15 @@ bool configure(const SinkConfig& config);
 /// drains + closes the trace stream). Safe to call repeatedly; called
 /// automatically at exit once configure() has run.
 void flush();
+
+/// Registers a callback invoked at the start of every flush, before the
+/// snapshot sampler stops and the trace writer drains — the hook's last
+/// chance to emit buffered trace events (the sim telemetry reservoirs use
+/// this). Hooks run in registration order, live for the process, and must
+/// not call flush()/configure() themselves (the sink lock is held). With
+/// ORP_OBS_DISABLED the hook is still registered and still runs (it is
+/// expected to be a no-op there).
+void register_flush_hook(std::function<void()> hook);
 
 /// The currently active sink.
 const SinkConfig& active_sink();

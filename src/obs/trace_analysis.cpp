@@ -33,11 +33,84 @@ std::string string_or(const JsonValue* v, const std::string& fallback) {
   return (v && v->is_string()) ? v->as_string() : fallback;
 }
 
+/// Reads the "net.*" instant events into the NetworkAnalysis vectors.
+/// Missing args default to zero — the emitter always writes every field,
+/// so a partial record means a truncated trace, not a crash.
+void parse_net_event(const std::string& name, const JsonValue* args,
+                     NetworkAnalysis& net) {
+  auto n = [&](const char* key) {
+    return args ? number_or(args->find(key), 0.0) : 0.0;
+  };
+  auto u32 = [&](const char* key) {
+    return static_cast<std::uint32_t>(n(key));
+  };
+  auto u64 = [&](const char* key) {
+    return static_cast<std::uint64_t>(n(key));
+  };
+  if (name == "net.flow") {
+    NetFlow f;
+    f.phase = u64("phase");
+    f.src = u32("src");
+    f.dst = u32("dst");
+    f.bytes = u64("bytes");
+    f.hops = u32("hops");
+    f.retries = u32("retries");
+    f.failed = args && string_or(args->find("status"), "ok") == "failed";
+    f.start_s = n("start_s");
+    f.total_s = n("total_s");
+    f.ser_s = n("ser_s");
+    f.queue_s = n("queue_s");
+    f.hop_s = n("hop_s");
+    f.retry_s = n("retry_s");
+    f.overhead_s = n("ovh_s");
+    f.rate_first_bps = n("rate_first_bps");
+    f.rate_last_bps = n("rate_last_bps");
+    f.rate_mean_bps = n("rate_mean_bps");
+    net.flows.push_back(f);
+    net.present = true;
+  } else if (name == "net.link") {
+    NetLink l;
+    l.phase = u64("phase");
+    l.step = static_cast<std::int64_t>(n("step"));
+    l.link = u32("link");
+    l.t0_s = n("t0_s");
+    l.t1_s = n("t1_s");
+    l.utilization = n("util");
+    l.flows = u32("flows");
+    l.fair_bps = n("fair_bps");
+    net.link_samples.push_back(l);
+    net.present = true;
+  } else if (name == "net.phase") {
+    NetPhase p;
+    p.phase = u64("phase");
+    p.flows = u32("flows");
+    p.completed = u32("completed");
+    p.failed = u32("failed");
+    p.retried = u32("retried");
+    p.steps = u32("steps");
+    p.start_s = n("start_s");
+    p.elapsed_s = n("elapsed_s");
+    p.transfer_s = n("transfer_s");
+    p.max_utilization = n("max_util");
+    net.phases.push_back(std::move(p));
+    net.present = true;
+  } else if (name == "net.meta") {
+    net.flows_seen = u64("flows_seen");
+    net.flows_kept = u64("flows_kept");
+    net.links_seen = u64("links_seen");
+    net.links_kept = u64("links_kept");
+    net.phases_seen = u64("phases_seen");
+    net.phases_kept = u64("phases_kept");
+    net.present = true;
+  }
+}
+
 /// Parses one JSONL line into `out`. Returns false when the line is not a
 /// well-formed event (the caller counts it as malformed). Lines carrying a
 /// "kind" key are the trailer metric records — valid, but not events; they
-/// set `*is_metric` instead.
-bool parse_line(const std::string& line, Event& out, bool* is_metric) {
+/// set `*is_metric` instead. "cat":"net" instants additionally feed `net`.
+bool parse_line(const std::string& line, Event& out, bool* is_metric,
+                NetworkAnalysis& net) {
   JsonValue doc;
   try {
     doc = JsonValue::parse(line);
@@ -59,8 +132,10 @@ bool parse_line(const std::string& line, Event& out, bool* is_metric) {
   out.category = string_or(doc.find("cat"), "");
   out.name = string_or(doc.find("name"), "");
   out.flow = static_cast<std::uint64_t>(number_or(doc.find("id"), 0.0));
-  if (const JsonValue* args = doc.find("args")) {
-    out.value = number_or(args->find("value"), 0.0);
+  const JsonValue* args = doc.find("args");
+  if (args) out.value = number_or(args->find("value"), 0.0);
+  if (out.phase == 'i' && out.category == "net") {
+    parse_net_event(out.name, args, net);
   }
   return true;
 }
@@ -185,6 +260,91 @@ Convergence analyze_convergence(const std::map<Key, CounterAccum>& counters,
   return conv;
 }
 
+/// Sorts, aggregates, and derives the per-phase bottleneck sets once every
+/// net.* record has been collected. Pure and deterministic: full-tiebreak
+/// sorts, no dependence on record arrival order.
+void finalize_network(NetworkAnalysis& net) {
+  if (!net.present) return;
+  std::sort(net.flows.begin(), net.flows.end(),
+            [](const NetFlow& a, const NetFlow& b) {
+              if (a.phase != b.phase) return a.phase < b.phase;
+              if (a.src != b.src) return a.src < b.src;
+              return a.dst < b.dst;
+            });
+  std::sort(net.link_samples.begin(), net.link_samples.end(),
+            [](const NetLink& a, const NetLink& b) {
+              if (a.phase != b.phase) return a.phase < b.phase;
+              if (a.step != b.step) return a.step < b.step;
+              return a.link < b.link;
+            });
+  std::sort(net.phases.begin(), net.phases.end(),
+            [](const NetPhase& a, const NetPhase& b) { return a.phase < b.phase; });
+
+  for (const NetFlow& f : net.flows) {
+    if (f.failed) ++net.failed;
+    else ++net.completed;
+    if (f.retries > 0) ++net.retried;
+    net.sum_total_s += f.total_s;
+    net.sum_ser_s += f.ser_s;
+    net.sum_queue_s += f.queue_s;
+    net.sum_hop_s += f.hop_s;
+    net.sum_retry_s += f.retry_s;
+    net.sum_overhead_s += f.overhead_s;
+    net.max_total_s = std::max(net.max_total_s, f.total_s);
+    const double residual =
+        std::abs(f.ser_s + f.queue_s + f.hop_s + f.retry_s + f.overhead_s -
+                 f.total_s);
+    net.max_residual_s = std::max(net.max_residual_s, residual);
+  }
+
+  // Per-link aggregates over every sample mentioning the link.
+  std::map<std::uint32_t, NetLinkStat> by_link;
+  for (const NetLink& l : net.link_samples) {
+    NetLinkStat& s = by_link[l.link];
+    s.link = l.link;
+    if (s.samples == 0) s.fair_min_bps = l.fair_bps;
+    ++s.samples;
+    s.util_mean += l.utilization;  // sum for now; divided below
+    s.util_max = std::max(s.util_max, l.utilization);
+    s.flows_max = std::max(s.flows_max, l.flows);
+    s.fair_min_bps = std::min(s.fair_min_bps, l.fair_bps);
+  }
+  for (auto& [link, s] : by_link) {
+    s.util_mean /= static_cast<double>(s.samples);
+    net.links.push_back(s);
+  }
+  std::sort(net.links.begin(), net.links.end(),
+            [](const NetLinkStat& a, const NetLinkStat& b) {
+              if (a.util_mean != b.util_mean) return a.util_mean > b.util_mean;
+              return a.link < b.link;
+            });
+
+  // Bottleneck set per phase: phase-bucket samples (step -1) within 5% of
+  // the phase's peak, most utilized first, capped at 6.
+  for (NetPhase& p : net.phases) {
+    std::vector<const NetLink*> buckets;
+    for (const NetLink& l : net.link_samples) {
+      if (l.phase == p.phase && l.step == -1) buckets.push_back(&l);
+    }
+    if (buckets.empty()) continue;
+    double peak = 0.0;
+    for (const NetLink* l : buckets) peak = std::max(peak, l->utilization);
+    p.max_utilization = std::max(p.max_utilization, peak);
+    std::sort(buckets.begin(), buckets.end(),
+              [](const NetLink* a, const NetLink* b) {
+                if (a->utilization != b->utilization) {
+                  return a->utilization > b->utilization;
+                }
+                return a->link < b->link;
+              });
+    for (const NetLink* l : buckets) {
+      if (l->utilization < 0.95 * peak) break;
+      p.bottleneck_links.push_back(l->link);
+      if (p.bottleneck_links.size() >= 6) break;
+    }
+  }
+}
+
 std::string csv_cell(const std::string& cell) {
   if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
   std::string out = "\"";
@@ -208,7 +368,7 @@ TraceAnalysis analyze_trace(const std::vector<std::string>& lines,
     ++result.total_lines;
     Event e;
     bool is_metric = false;
-    if (!parse_line(line, e, &is_metric)) {
+    if (!parse_line(line, e, &is_metric, result.network)) {
       ++result.malformed_lines;
       continue;
     }
@@ -219,6 +379,7 @@ TraceAnalysis analyze_trace(const std::vector<std::string>& lines,
     ++result.event_lines;
     events.push_back(std::move(e));
   }
+  finalize_network(result.network);
   if (events.empty()) return result;
 
   // The tracer's writer thread drains per-batch, so events from different
@@ -457,6 +618,131 @@ std::string render_markdown(const TraceAnalysis& a,
     t.print_markdown(os);
   }
 
+  os << "\n## Network\n\n";
+  const NetworkAnalysis& net = a.network;
+  if (!net.present) {
+    os << "No network telemetry in this trace.\n";
+  } else {
+    os << "- flow records: " << net.flows.size() << " (" << net.completed
+       << " ok, " << net.failed << " failed, " << net.retried << " retried)\n";
+    os << "- link samples: " << net.link_samples.size() << " across "
+       << net.links.size() << " links; phases: " << net.phases.size() << "\n";
+    os << "- attribution residual (max |term sum - total|): "
+       << format_double(net.max_residual_s * 1e9, 6) << " ns\n";
+    const bool dropped = net.flows_seen > net.flows_kept ||
+                         net.links_seen > net.links_kept ||
+                         net.phases_seen > net.phases_kept;
+    if (dropped) {
+      os << "- coverage: SAMPLED — reservoirs kept " << net.flows_kept << "/"
+         << net.flows_seen << " flows, " << net.links_kept << "/"
+         << net.links_seen << " link samples, " << net.phases_kept << "/"
+         << net.phases_seen << " phases\n";
+    } else {
+      os << "- coverage: complete (no reservoir drops)\n";
+    }
+
+    os << "\n### Latency attribution\n\n";
+    {
+      Table t({"term", "seconds", "share %"});
+      const double total = net.sum_total_s;
+      auto term = [&](const char* name, double seconds) {
+        t.row().add(name).add(seconds, 9).add(
+            total > 0 ? 100.0 * seconds / total : 0.0, 2);
+      };
+      term("serialization", net.sum_ser_s);
+      term("queueing", net.sum_queue_s);
+      term("hop / propagation", net.sum_hop_s);
+      term("retry backoff", net.sum_retry_s);
+      term("software overhead", net.sum_overhead_s);
+      term("total", total);
+      t.print_markdown(os);
+    }
+
+    if (!net.flows.empty()) {
+      os << "\n### Slowest flows (top " << options.net_top
+         << " by completion time)\n\n";
+      std::vector<const NetFlow*> slowest;
+      for (const NetFlow& f : net.flows) slowest.push_back(&f);
+      std::stable_sort(slowest.begin(), slowest.end(),
+                       [](const NetFlow* x, const NetFlow* y) {
+                         return x->total_s > y->total_s;
+                       });
+      if (slowest.size() > options.net_top) slowest.resize(options.net_top);
+      Table t({"phase", "src->dst", "bytes", "hops", "status", "total ms",
+               "ser ms", "queue ms", "hop us", "retry ms", "mean MB/s"});
+      for (const NetFlow* f : slowest) {
+        t.row()
+            .add(static_cast<std::size_t>(f->phase))
+            .add(std::to_string(f->src) + "->" + std::to_string(f->dst))
+            .add(static_cast<long long>(f->bytes))
+            .add(static_cast<std::size_t>(f->hops))
+            .add(f->failed ? "FAILED" : (f->retries ? "retried" : "ok"))
+            .add(f->total_s * 1e3, 6)
+            .add(f->ser_s * 1e3, 6)
+            .add(f->queue_s * 1e3, 6)
+            .add(f->hop_s * 1e6, 3)
+            .add(f->retry_s * 1e3, 6)
+            .add(f->rate_mean_bps / 1e6, 1);
+      }
+      t.print_markdown(os);
+    }
+
+    if (!net.links.empty()) {
+      os << "\n### Link heatmap (top " << options.net_top
+         << " by mean utilization)\n\n";
+      Table t({"link", "samples", "mean util", "max util", "peak flows",
+               "min fair MB/s", "heat"});
+      std::size_t shown = 0;
+      for (const NetLinkStat& s : net.links) {
+        if (++shown > options.net_top) break;
+        const int blocks = std::min(
+            8, static_cast<int>(std::ceil(s.util_max * 8.0 - 1e-12)));
+        t.row()
+            .add(static_cast<std::size_t>(s.link))
+            .add(static_cast<std::size_t>(s.samples))
+            .add(s.util_mean, 4)
+            .add(s.util_max, 4)
+            .add(static_cast<std::size_t>(s.flows_max))
+            .add(s.fair_min_bps / 1e6, 1)
+            .add(std::string(static_cast<std::size_t>(std::max(0, blocks)),
+                             '#'));
+      }
+      t.print_markdown(os);
+    }
+
+    if (!net.phases.empty()) {
+      os << "\n### Phase bottlenecks (top " << options.net_top
+         << " by max utilization)\n\n";
+      std::vector<const NetPhase*> hot;
+      for (const NetPhase& p : net.phases) hot.push_back(&p);
+      std::stable_sort(hot.begin(), hot.end(),
+                       [](const NetPhase* x, const NetPhase* y) {
+                         return x->max_utilization > y->max_utilization;
+                       });
+      if (hot.size() > options.net_top) hot.resize(options.net_top);
+      Table t({"phase", "flows", "ok/retry/fail", "steps", "start ms",
+               "elapsed ms", "max util", "bottleneck links"});
+      for (const NetPhase* p : hot) {
+        std::string bset;
+        for (std::size_t i = 0; i < p->bottleneck_links.size(); ++i) {
+          if (i) bset += ',';
+          bset += std::to_string(p->bottleneck_links[i]);
+        }
+        t.row()
+            .add(static_cast<std::size_t>(p->phase))
+            .add(static_cast<std::size_t>(p->flows))
+            .add(std::to_string(p->completed) + "/" +
+                 std::to_string(p->retried) + "/" + std::to_string(p->failed))
+            .add(static_cast<std::size_t>(p->steps))
+            .add(p->start_s * 1e3, 6)
+            .add(p->elapsed_s * 1e3, 6)
+            .add(p->max_utilization, 4)
+            .add(bset.empty() ? "-" : bset);
+      }
+      t.print_markdown(os);
+    }
+  }
+
   os << "\n## Annealer convergence\n\n";
   const Convergence& conv = a.convergence;
   if (!conv.present) {
@@ -552,6 +838,36 @@ std::string render_csv(const TraceAnalysis& a, const ReportOptions& options) {
       emit("convergence_window", "search", "window" + std::to_string(w + 1),
            win.samples, win.t_end_us, win.acceptance, win.temperature,
            win.best_haspl);
+    }
+  }
+  if (a.network.present) {
+    const NetworkAnalysis& net = a.network;
+    emit("net_summary", "net", "flows", net.flows.size(),
+         static_cast<double>(net.completed), static_cast<double>(net.failed),
+         static_cast<double>(net.retried), net.max_residual_s);
+    emit("net_attribution", "net", "serialization", net.flows.size(),
+         net.sum_ser_s, 0.0, 0.0, 0.0);
+    emit("net_attribution", "net", "queueing", net.flows.size(),
+         net.sum_queue_s, 0.0, 0.0, 0.0);
+    emit("net_attribution", "net", "hop_propagation", net.flows.size(),
+         net.sum_hop_s, 0.0, 0.0, 0.0);
+    emit("net_attribution", "net", "retry_backoff", net.flows.size(),
+         net.sum_retry_s, 0.0, 0.0, 0.0);
+    emit("net_attribution", "net", "software_overhead", net.flows.size(),
+         net.sum_overhead_s, 0.0, 0.0, 0.0);
+    emit("net_attribution", "net", "total", net.flows.size(), net.sum_total_s,
+         net.max_total_s, 0.0, 0.0);
+    std::size_t shown = 0;
+    for (const NetLinkStat& s : net.links) {
+      if (++shown > options.net_top) break;
+      emit("net_link", "net", "link" + std::to_string(s.link), s.samples,
+           s.util_mean, s.util_max, static_cast<double>(s.flows_max),
+           s.fair_min_bps);
+    }
+    for (const NetPhase& p : net.phases) {
+      emit("net_phase", "net", "phase" + std::to_string(p.phase), p.flows,
+           p.start_s, p.elapsed_s, p.max_utilization,
+           static_cast<double>(p.bottleneck_links.size()));
     }
   }
   return os.str();

@@ -11,7 +11,10 @@
 //     (annealer temperature, gauges) report first/last/min/max,
 //   * flow-event accounting: s/f id pairing across threads,
 //   * annealer convergence diagnostics: windowed acceptance rate vs
-//     temperature, h-ASPL improvement per second, and stall detection.
+//     temperature, h-ASPL improvement per second, and stall detection,
+//   * network telemetry (the sim's "cat":"net" instants, docs/telemetry.md):
+//     per-flow latency attribution with a term-sum residual check, per-link
+//     utilization aggregates, and the bottleneck link set per phase.
 //
 // Analysis is pure and deterministic: the same trace bytes produce the
 // same analysis and byte-identical rendered reports. This code does not
@@ -64,6 +67,74 @@ struct Convergence {
   std::vector<ConvergenceWindow> windows;
 };
 
+// ---- network telemetry (sim/telemetry "net.*" instant events) ------------
+
+/// One flow lifecycle ("net.flow"). The attribution terms are defined so
+/// ser + queue + hop + retry + overhead == total (docs/telemetry.md);
+/// NetworkAnalysis::max_residual_s reports the worst observed deviation.
+struct NetFlow {
+  std::uint64_t phase = 0;
+  std::uint32_t src = 0, dst = 0;
+  std::uint64_t bytes = 0;
+  std::uint32_t hops = 0, retries = 0;
+  bool failed = false;
+  double start_s = 0.0, total_s = 0.0;
+  double ser_s = 0.0, queue_s = 0.0, hop_s = 0.0, retry_s = 0.0,
+         overhead_s = 0.0;
+  double rate_first_bps = 0.0, rate_last_bps = 0.0, rate_mean_bps = 0.0;
+};
+
+/// One link in one time bucket ("net.link"); step -1 = whole-phase bucket.
+struct NetLink {
+  std::uint64_t phase = 0;
+  std::int64_t step = -1;
+  std::uint32_t link = 0;
+  double t0_s = 0.0, t1_s = 0.0;
+  double utilization = 0.0;
+  std::uint32_t flows = 0;
+  double fair_bps = 0.0;
+};
+
+/// One communication phase ("net.phase") plus its derived bottleneck set.
+struct NetPhase {
+  std::uint64_t phase = 0;
+  std::uint32_t flows = 0, completed = 0, failed = 0, retried = 0, steps = 0;
+  double start_s = 0.0, elapsed_s = 0.0, transfer_s = 0.0;
+  double max_utilization = 0.0;
+  /// Links within 5% of the phase's peak utilization (at most 6, most
+  /// utilized first), from the phase-bucket link samples.
+  std::vector<std::uint32_t> bottleneck_links;
+};
+
+/// Per-link aggregate over every sample that mentions the link.
+struct NetLinkStat {
+  std::uint32_t link = 0;
+  std::uint64_t samples = 0;
+  double util_mean = 0.0, util_max = 0.0;
+  std::uint32_t flows_max = 0;
+  double fair_min_bps = 0.0;
+};
+
+struct NetworkAnalysis {
+  bool present = false;  ///< any net.* record was found in the trace
+  std::vector<NetFlow> flows;        ///< sorted (phase, src, dst)
+  std::vector<NetLink> link_samples; ///< sorted (phase, step, link)
+  std::vector<NetPhase> phases;      ///< sorted by phase
+  std::vector<NetLinkStat> links;    ///< sorted by mean utilization desc
+  std::uint64_t completed = 0, failed = 0, retried = 0;
+  double sum_total_s = 0.0, sum_ser_s = 0.0, sum_queue_s = 0.0,
+         sum_hop_s = 0.0, sum_retry_s = 0.0, sum_overhead_s = 0.0;
+  double max_total_s = 0.0;
+  /// max |(ser+queue+hop+retry+overhead) - total| over the flow records;
+  /// the acceptance bound is 1e-6 s.
+  double max_residual_s = 0.0;
+  /// Reservoir coverage from "net.meta": seen == kept means the trace
+  /// holds every record the run produced (nothing was sampled away).
+  std::uint64_t flows_seen = 0, flows_kept = 0;
+  std::uint64_t links_seen = 0, links_kept = 0;
+  std::uint64_t phases_seen = 0, phases_kept = 0;
+};
+
 /// One parsed run-ledger record (src/obs/ledger.hpp schema).
 struct LedgerEntry {
   std::string ts, tool, git_sha, compiler;
@@ -85,11 +156,13 @@ struct TraceAnalysis {
   std::vector<SpanStat> spans;        ///< sorted: category, self time desc
   std::vector<CounterStat> counters;  ///< sorted: category, name
   Convergence convergence;
+  NetworkAnalysis network;
 };
 
 struct ReportOptions {
   std::size_t top_k = 20;    ///< spans listed per category
   std::size_t windows = 8;   ///< convergence windows
+  std::size_t net_top = 12;  ///< rows in each network section table
 };
 
 /// Analyzes in-memory JSONL lines (exposed for tests).

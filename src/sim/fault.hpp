@@ -18,13 +18,18 @@ namespace orp {
 struct FaultEvent {
   enum class Kind : std::uint8_t {
     kLinkDown,   ///< cable {a, b} fails
-    kSwitchDown  ///< switch `a` fails (all its links; its hosts go dark)
+    kSwitchDown, ///< switch `a` fails (all its links; its hosts go dark)
+    kLinkUp,     ///< cable {a, b} is repaired (no-op while an endpoint is
+                 ///< dead or ports are exhausted; repair the switch first)
+    kSwitchUp    ///< switch `a` is repaired: its recorded pre-failure links
+                 ///< to still-alive neighbors come back and its hosts
+                 ///< (ranks) are re-admitted
   };
 
   double time = 0.0;  ///< simulated seconds at which the fault strikes
   Kind kind = Kind::kLinkDown;
   SwitchId a = 0;
-  SwitchId b = 0;  ///< second link endpoint; unused for kSwitchDown
+  SwitchId b = 0;  ///< second link endpoint; unused for switch events
 };
 
 /// Cumulative graceful-degradation counters over a Machine's lifetime.
@@ -34,6 +39,8 @@ struct FaultStats {
   std::uint64_t flows_retried = 0;    ///< flow reroute events (with backoff)
   std::uint64_t flows_failed = 0;     ///< flows abandoned (no surviving route)
   double retry_added_latency = 0.0;   ///< summed backoff seconds across flows
+  std::uint64_t links_repaired = 0;    ///< cables restored by repair events
+  std::uint64_t switches_repaired = 0; ///< switches restored (ranks re-admitted)
 };
 
 }  // namespace orp

@@ -22,6 +22,7 @@ struct SimInstruments {
   obs::Counter& fault_rebuilds;
   obs::Counter& fault_retries;
   obs::Counter& fault_failures;
+  obs::Counter& fault_repairs;
 
   static SimInstruments& get() {
     auto& registry = obs::Registry::global();
@@ -31,7 +32,8 @@ struct SimInstruments {
                                    registry.counter("sim.fault.events"),
                                    registry.counter("sim.fault.rebuilds"),
                                    registry.counter("sim.fault.retried_flows"),
-                                   registry.counter("sim.fault.failed_flows")};
+                                   registry.counter("sim.fault.failed_flows"),
+                                   registry.counter("sim.fault.repairs")};
     return instance;
   }
 };
@@ -58,6 +60,7 @@ Machine::Machine(const HostSwitchGraph& graph, const SimParams& params,
   }
   switch_dead_.assign(graph_.num_switches(), 0);
   host_dead_.assign(num_ranks_, 0);
+  downed_adjacency_.assign(graph_.num_switches(), {});
 }
 
 void Machine::inject_faults(std::vector<FaultEvent> events) {
@@ -65,7 +68,8 @@ void Machine::inject_faults(std::vector<FaultEvent> events) {
     ORP_REQUIRE(std::isfinite(e.time) && e.time >= 0.0,
                 "fault event time must be finite and non-negative");
     ORP_REQUIRE(e.a < graph_.num_switches(), "fault event switch out of range");
-    if (e.kind == FaultEvent::Kind::kLinkDown) {
+    if (e.kind == FaultEvent::Kind::kLinkDown ||
+        e.kind == FaultEvent::Kind::kLinkUp) {
       ORP_REQUIRE(e.b < graph_.num_switches() && e.a != e.b,
                   "fault event link endpoints invalid");
     }
@@ -97,26 +101,75 @@ bool Machine::apply_due_faults(double horizon,
     const FaultEvent& e = pending_[next_event_++];
     ++fault_stats_.events_applied;
     instruments.fault_events.inc();
-    if (e.kind == FaultEvent::Kind::kLinkDown) {
-      // A cable that is already gone (repeat event, or its switch died) is
-      // a no-op rather than an error: fault schedules may overlap.
-      if (graph_.has_switch_edge(e.a, e.b)) {
-        mark(e.a, e.b);
-        graph_.remove_switch_edge(e.a, e.b);
-        changed = true;
-      }
-    } else if (!switch_dead_[e.a]) {
-      switch_dead_[e.a] = 1;
-      const auto span = graph_.neighbors(e.a);
-      const std::vector<SwitchId> frozen(span.begin(), span.end());
-      for (const SwitchId t : frozen) {
-        mark(e.a, t);
-        graph_.remove_switch_edge(e.a, t);
-      }
-      for (HostId h = 0; h < graph_.num_hosts(); ++h) {
-        if (graph_.host_switch(h) == e.a) host_dead_[h] = 1;
-      }
-      changed = true;
+    // Drops {a, b} from a dead switch's frozen adjacency: the cable failed
+    // on its own, so a later kSwitchUp must not resurrect it.
+    const auto unrecord = [this](SwitchId a, SwitchId b) {
+      auto& adj = downed_adjacency_[a];
+      adj.erase(std::remove(adj.begin(), adj.end(), b), adj.end());
+    };
+    switch (e.kind) {
+      case FaultEvent::Kind::kLinkDown:
+        // A cable that is already gone (repeat event, or its switch died)
+        // is a no-op rather than an error: fault schedules may overlap.
+        if (graph_.has_switch_edge(e.a, e.b)) {
+          mark(e.a, e.b);
+          graph_.remove_switch_edge(e.a, e.b);
+          changed = true;
+        } else {
+          unrecord(e.a, e.b);
+          unrecord(e.b, e.a);
+        }
+        break;
+      case FaultEvent::Kind::kSwitchDown:
+        if (!switch_dead_[e.a]) {
+          switch_dead_[e.a] = 1;
+          const auto span = graph_.neighbors(e.a);
+          downed_adjacency_[e.a].assign(span.begin(), span.end());
+          for (const SwitchId t : downed_adjacency_[e.a]) {
+            mark(e.a, t);
+            graph_.remove_switch_edge(e.a, t);
+          }
+          for (HostId h = 0; h < graph_.num_hosts(); ++h) {
+            if (graph_.host_switch(h) == e.a) host_dead_[h] = 1;
+          }
+          changed = true;
+        }
+        break;
+      case FaultEvent::Kind::kLinkUp:
+        // Inverse topology edit. Requires both endpoints alive (repair the
+        // switch first — its kSwitchUp restores recorded cables), the edge
+        // absent, and a free port on each end.
+        if (!switch_dead_[e.a] && !switch_dead_[e.b] &&
+            !graph_.has_switch_edge(e.a, e.b) && graph_.free_ports(e.a) > 0 &&
+            graph_.free_ports(e.b) > 0) {
+          graph_.add_switch_edge(e.a, e.b);
+          ++fault_stats_.links_repaired;
+          instruments.fault_repairs.inc();
+          changed = true;
+        }
+        break;
+      case FaultEvent::Kind::kSwitchUp:
+        if (switch_dead_[e.a]) {
+          switch_dead_[e.a] = 0;
+          // Restore the pre-failure cables whose far end survived and
+          // still has a port; re-admit the switch's hosts (their ranks
+          // become routable again — failed flows stay failed, re-admission
+          // is of ranks, not of past traffic).
+          for (const SwitchId t : downed_adjacency_[e.a]) {
+            if (!switch_dead_[t] && !graph_.has_switch_edge(e.a, t) &&
+                graph_.free_ports(e.a) > 0 && graph_.free_ports(t) > 0) {
+              graph_.add_switch_edge(e.a, t);
+            }
+          }
+          downed_adjacency_[e.a].clear();
+          for (HostId h = 0; h < graph_.num_hosts(); ++h) {
+            if (graph_.host_switch(h) == e.a) host_dead_[h] = 0;
+          }
+          ++fault_stats_.switches_repaired;
+          instruments.fault_repairs.inc();
+          changed = true;
+        }
+        break;
     }
   }
   if (changed) {
@@ -204,6 +257,12 @@ double Machine::phase(const std::vector<Message>& messages) {
   std::vector<double> finish(num_flows, 0.0);
   std::size_t active_count = num_flows;
 
+  // Network telemetry (docs/telemetry.md): one load when no tracer is
+  // active; otherwise the collector snapshots raw per-flow/per-link data
+  // and defers all formatting to the sink flush.
+  const bool tele = net_.begin_phase(clock_, num_flows);
+  std::uint32_t fluid_steps = 0;
+
   for (std::size_t f = 0; f < num_flows; ++f) {
     if (hops[f] == 0) {
       // No surviving route at injection: the sender gives up after the
@@ -248,6 +307,11 @@ double Machine::phase(const std::vector<Message>& messages) {
       for (std::size_t f = 0; f < num_flows; ++f) {
         if (active[f]) byte_progress[f] += rates_[f] * (event_t - t);
       }
+      if (tele) {
+        net_.on_segment(fluid_steps, clock_ + t, clock_ + event_t, paths_,
+                        active, rates_);
+      }
+      ++fluid_steps;
       t = event_t;
       removed_links.assign(routes_.num_links(), 0);
       if (!apply_due_faults(clock_ + t, &removed_links)) continue;
@@ -272,6 +336,7 @@ double Machine::phase(const std::vector<Message>& messages) {
           finish[f] = t + params_.retry_timeout;
           ++fault_stats_.flows_failed;
           instruments.fault_failures.inc();
+          if (tele) net_.flow_done(f, rates_[f]);
         } else {
           hops[f] = new_hops;
           if (hit) {
@@ -289,6 +354,11 @@ double Machine::phase(const std::vector<Message>& messages) {
     }
 
     const double batch_window = dt * (1.0 + 1e-9) + 1e-15;
+    if (tele) {
+      net_.on_segment(fluid_steps, clock_ + t, clock_ + t + dt, paths_, active,
+                      rates_);
+    }
+    ++fluid_steps;
     t += dt;
     for (std::size_t f = 0; f < num_flows; ++f) {
       if (!active[f]) continue;
@@ -298,6 +368,7 @@ double Machine::phase(const std::vector<Message>& messages) {
         active[f] = 0;
         --active_count;
         finish[f] = t;
+        if (tele) net_.flow_done(f, rates_[f]);
       }
     }
   }
@@ -364,6 +435,25 @@ double Machine::phase(const std::vector<Message>& messages) {
   double hop_sum = 0.0;
   for (const std::uint32_t h : hops) hop_sum += h;
   stats_.mean_hops = hop_sum / static_cast<double>(num_flows);
+
+  if (tele) {
+    NetPhaseCollector::PhaseEnd end;
+    end.transfer_end_s = t;
+    end.elapsed_s = elapsed;
+    end.steps = fluid_steps;
+    end.paths = &paths_;
+    end.bytes = &remaining;
+    end.finish = &finish;
+    end.penalty = &penalty;
+    end.hops = &hops;
+    end.failed = &failed;
+    end.retried = &retried;
+    end.src = &flow_src;
+    end.dst = &flow_dst;
+    end.params = &params_;
+    end.num_links = routes_.num_links();
+    net_.end_phase(end);
+  }
 
   instruments.phases.inc();
   instruments.flows.add(num_flows);

@@ -26,6 +26,7 @@
 #include "sim/fault.hpp"
 #include "sim/params.hpp"
 #include "sim/routing.hpp"
+#include "sim/telemetry/telemetry.hpp"
 
 namespace orp {
 
@@ -148,9 +149,16 @@ class Machine {
   // Fault state.
   std::vector<std::uint8_t> switch_dead_;
   std::vector<std::uint8_t> host_dead_;
+  /// Adjacency frozen at switch death, so kSwitchUp can restore the links
+  /// that are still restorable (kLinkDown on a dead switch's recorded edge
+  /// removes it from here — the cable failed independently).
+  std::vector<std::vector<SwitchId>> downed_adjacency_;
   std::vector<FaultEvent> pending_;  ///< sorted by time
   std::size_t next_event_ = 0;       ///< first unapplied entry of pending_
   FaultStats fault_stats_;
+
+  // Network telemetry (no-op unless a JSONL tracer is active).
+  NetPhaseCollector net_;
 
   // Scratch reused across phases.
   std::vector<std::vector<LinkId>> paths_;

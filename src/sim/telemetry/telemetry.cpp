@@ -1,0 +1,550 @@
+#include "sim/telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/cli.hpp"
+#include "common/require.hpp"
+#include "obs/sink.hpp"
+#include "obs/trace.hpp"
+
+namespace orp {
+namespace {
+
+NetTelemetryConfig& mutable_config() {
+  static NetTelemetryConfig config = net_telemetry_from_env();
+  return config;
+}
+
+std::uint32_t env_u32(const char* name, std::uint32_t fallback) {
+  return static_cast<std::uint32_t>(
+      std::max<std::int64_t>(0, env_int(name, fallback)));
+}
+
+}  // namespace
+
+NetTelemetryConfig net_telemetry_from_env() {
+  NetTelemetryConfig config;
+  config.enabled = env_int("ORP_NET_TELEMETRY", 1) != 0;
+  config.flow_sample =
+      std::max(1u, env_u32("ORP_NET_FLOW_SAMPLE", config.flow_sample));
+  config.link_top_k = env_u32("ORP_NET_LINK_TOPK", config.link_top_k);
+  config.link_steps = env_u32("ORP_NET_LINK_STEPS", config.link_steps);
+  config.reservoir_flows =
+      env_u32("ORP_NET_RESERVOIR_FLOWS", config.reservoir_flows);
+  config.reservoir_links =
+      env_u32("ORP_NET_RESERVOIR_LINKS", config.reservoir_links);
+  config.reservoir_phases =
+      env_u32("ORP_NET_RESERVOIR_PHASES", config.reservoir_phases);
+  return config;
+}
+
+void set_net_telemetry(const NetTelemetryConfig& config) {
+  mutable_config() = config;
+}
+
+const NetTelemetryConfig& net_telemetry() { return mutable_config(); }
+
+bool apply_net_telemetry_spec(std::string_view spec) {
+  if (spec.empty()) return true;
+  NetTelemetryConfig config = net_telemetry();
+  if (spec == "off") {
+    config.enabled = false;
+    set_net_telemetry(config);
+    return true;
+  }
+  if (spec == "on" || spec == "default") {
+    config.enabled = true;
+    set_net_telemetry(config);
+    return true;
+  }
+  // Comma-separated knob=value pairs; every knob must parse.
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view pair = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) return false;
+    const std::string_view key = pair.substr(0, eq);
+    std::uint32_t value = 0;
+    try {
+      std::size_t used = 0;
+      const std::string digits(pair.substr(eq + 1));
+      const unsigned long parsed = std::stoul(digits, &used);
+      if (used != digits.size()) return false;
+      value = static_cast<std::uint32_t>(parsed);
+    } catch (const std::exception&) {
+      return false;
+    }
+    if (key == "flow_sample") config.flow_sample = std::max(1u, value);
+    else if (key == "link_top_k") config.link_top_k = value;
+    else if (key == "link_steps") config.link_steps = value;
+    else if (key == "reservoir_flows") config.reservoir_flows = value;
+    else if (key == "reservoir_links") config.reservoir_links = value;
+    else if (key == "reservoir_phases") config.reservoir_phases = value;
+    else return false;
+  }
+  set_net_telemetry(config);
+  return true;
+}
+
+}  // namespace orp
+
+#ifndef ORP_OBS_DISABLED
+
+namespace orp {
+namespace {
+
+/// splitmix64: deterministic stream for reservoir replacement decisions
+/// (no std::random — identical traces for identical runs, by index).
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Algorithm-R reservoir with a deterministic replacement stream. Keeps a
+/// uniform sample of everything offered once `capacity` is exceeded.
+template <typename T>
+class Reservoir {
+ public:
+  void set_capacity(std::size_t capacity) { capacity_ = capacity; }
+  void offer(T record) {
+    ++seen_;
+    if (items_.size() < capacity_) {
+      items_.push_back(std::move(record));
+      return;
+    }
+    if (capacity_ == 0) return;
+    const std::uint64_t j = splitmix64(seen_) % seen_;
+    if (j < capacity_) items_[static_cast<std::size_t>(j)] = std::move(record);
+  }
+  std::uint64_t seen() const { return seen_; }
+  std::vector<T>& items() { return items_; }
+  void clear() {
+    items_.clear();
+    seen_ = 0;
+  }
+
+ private:
+  std::size_t capacity_ = 0;
+  std::uint64_t seen_ = 0;
+  std::vector<T> items_;
+};
+
+/// %.12g: round-trips every telemetry value (utilizations near 1e-9,
+/// rates near 5e9) without the fixed-decimal truncation of format_double.
+std::string num(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.12g", value);
+  return buffer;
+}
+
+std::string num(std::uint64_t value) { return std::to_string(value); }
+std::string num(std::int64_t value) { return std::to_string(value); }
+
+/// Process-global record store: phases from every Machine accumulate here
+/// and drain into the tracer when the obs sink flushes (the hook runs
+/// before the trace writer stops, so the instants land ahead of the
+/// metric trailer).
+class NetStore {
+ public:
+  static NetStore& global() {
+    static NetStore* instance = new NetStore();  // leaked: used from atexit
+    return *instance;
+  }
+
+  std::uint64_t open_phase(const NetTelemetryConfig& config) {
+    std::lock_guard lock(mutex_);
+    flows_.set_capacity(config.reservoir_flows);
+    links_.set_capacity(config.reservoir_links);
+    phases_.set_capacity(config.reservoir_phases);
+    return next_phase_++;
+  }
+
+  void push(std::vector<NetFlowRecord>& flows,
+            std::vector<NetLinkSample>& links, const NetPhaseRecord& phase) {
+    std::lock_guard lock(mutex_);
+    for (NetFlowRecord& f : flows) flows_.offer(std::move(f));
+    for (NetLinkSample& l : links) links_.offer(std::move(l));
+    phases_.offer(phase);
+  }
+
+  std::size_t drain_to_tracer() {
+    std::lock_guard lock(mutex_);
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (!tracer.enabled()) {
+      clear_locked();
+      return 0;
+    }
+    // Deterministic emission order regardless of reservoir churn.
+    auto& phases = phases_.items();
+    std::sort(phases.begin(), phases.end(),
+              [](const NetPhaseRecord& a, const NetPhaseRecord& b) {
+                return a.phase < b.phase;
+              });
+    auto& flows = flows_.items();
+    std::sort(flows.begin(), flows.end(),
+              [](const NetFlowRecord& a, const NetFlowRecord& b) {
+                if (a.phase != b.phase) return a.phase < b.phase;
+                if (a.src != b.src) return a.src < b.src;
+                return a.dst < b.dst;
+              });
+    auto& links = links_.items();
+    std::sort(links.begin(), links.end(),
+              [](const NetLinkSample& a, const NetLinkSample& b) {
+                if (a.phase != b.phase) return a.phase < b.phase;
+                if (a.step != b.step) return a.step < b.step;
+                return a.link < b.link;
+              });
+
+    const std::uint64_t ts = tracer.now_ns();
+    const std::uint32_t tid = obs::Tracer::thread_id();
+    auto instant = [&](const char* name) {
+      obs::TraceEvent event;
+      event.name = name;
+      event.category = "net";
+      event.phase = obs::TraceEvent::Phase::kInstant;
+      event.ts_ns = ts;
+      event.tid = tid;
+      return event;
+    };
+
+    std::size_t emitted = 0;
+    for (const NetPhaseRecord& p : phases) {
+      obs::TraceEvent e = instant("net.phase");
+      e.args.emplace_back("phase", num(p.phase));
+      e.args.emplace_back("flows", num(std::uint64_t{p.flows}));
+      e.args.emplace_back("completed", num(std::uint64_t{p.completed}));
+      e.args.emplace_back("failed", num(std::uint64_t{p.failed}));
+      e.args.emplace_back("retried", num(std::uint64_t{p.retried}));
+      e.args.emplace_back("steps", num(std::uint64_t{p.steps}));
+      e.args.emplace_back("start_s", num(p.start_s));
+      e.args.emplace_back("elapsed_s", num(p.elapsed_s));
+      e.args.emplace_back("transfer_s", num(p.transfer_s));
+      e.args.emplace_back("max_util", num(p.max_utilization));
+      tracer.emit(std::move(e));
+      ++emitted;
+    }
+    for (const NetFlowRecord& f : flows) {
+      obs::TraceEvent e = instant("net.flow");
+      e.args.emplace_back("phase", num(f.phase));
+      e.args.emplace_back("src", num(std::uint64_t{f.src}));
+      e.args.emplace_back("dst", num(std::uint64_t{f.dst}));
+      e.args.emplace_back("bytes", num(f.bytes));
+      e.args.emplace_back("hops", num(std::uint64_t{f.hops}));
+      e.args.emplace_back("retries", num(std::uint64_t{f.retries}));
+      e.args.emplace_back("status", f.failed ? "\"failed\"" : "\"ok\"");
+      e.args.emplace_back("start_s", num(f.start_s));
+      e.args.emplace_back("finish_s", num(f.start_s + f.total_s));
+      e.args.emplace_back("total_s", num(f.total_s));
+      e.args.emplace_back("ser_s", num(f.serialization_s));
+      e.args.emplace_back("queue_s", num(f.queue_s));
+      e.args.emplace_back("hop_s", num(f.hop_s));
+      e.args.emplace_back("retry_s", num(f.retry_s));
+      e.args.emplace_back("ovh_s", num(f.overhead_s));
+      e.args.emplace_back("rate_first_bps", num(f.rate_first_bps));
+      e.args.emplace_back("rate_last_bps", num(f.rate_last_bps));
+      e.args.emplace_back("rate_mean_bps", num(f.rate_mean_bps));
+      tracer.emit(std::move(e));
+      ++emitted;
+    }
+    for (const NetLinkSample& l : links) {
+      obs::TraceEvent e = instant("net.link");
+      e.args.emplace_back("phase", num(l.phase));
+      e.args.emplace_back("step", num(std::int64_t{l.step}));
+      e.args.emplace_back("link", num(std::uint64_t{l.link}));
+      e.args.emplace_back("t0_s", num(l.t0_s));
+      e.args.emplace_back("t1_s", num(l.t1_s));
+      e.args.emplace_back("util", num(l.utilization));
+      e.args.emplace_back("flows", num(std::uint64_t{l.flows}));
+      e.args.emplace_back("fair_bps", num(l.fair_bps));
+      tracer.emit(std::move(e));
+      ++emitted;
+    }
+    // Coverage record: lets the report say when the reservoirs dropped
+    // records instead of silently presenting a sample as the whole run.
+    if (emitted > 0) {
+      obs::TraceEvent e = instant("net.meta");
+      e.args.emplace_back("flows_seen", num(flows_.seen()));
+      e.args.emplace_back("flows_kept", num(std::uint64_t{flows.size()}));
+      e.args.emplace_back("links_seen", num(links_.seen()));
+      e.args.emplace_back("links_kept", num(std::uint64_t{links.size()}));
+      e.args.emplace_back("phases_seen", num(phases_.seen()));
+      e.args.emplace_back("phases_kept", num(std::uint64_t{phases.size()}));
+      tracer.emit(std::move(e));
+      ++emitted;
+    }
+    clear_locked();
+    return emitted;
+  }
+
+  void discard() {
+    std::lock_guard lock(mutex_);
+    clear_locked();
+  }
+
+  void reset() {
+    std::lock_guard lock(mutex_);
+    clear_locked();
+    next_phase_ = 0;
+  }
+
+ private:
+  NetStore() {
+    obs::register_flush_hook([] { NetStore::global().drain_to_tracer(); });
+  }
+  void clear_locked() {
+    flows_.clear();
+    links_.clear();
+    phases_.clear();
+  }
+
+  std::mutex mutex_;
+  std::uint64_t next_phase_ = 0;
+  Reservoir<NetFlowRecord> flows_;
+  Reservoir<NetLinkSample> links_;
+  Reservoir<NetPhaseRecord> phases_;
+};
+
+}  // namespace
+
+namespace net_detail {
+std::size_t drain_to_tracer() { return NetStore::global().drain_to_tracer(); }
+void discard_buffered() { NetStore::global().discard(); }
+void reset_for_tests() { NetStore::global().reset(); }
+}  // namespace net_detail
+
+bool NetPhaseCollector::begin_phase(double clock_s, std::size_t num_flows) {
+  active_ = obs::Tracer::global().enabled();
+  if (!active_) return false;
+  cfg_ = net_telemetry();
+  if (!cfg_.enabled) {
+    active_ = false;
+    return false;
+  }
+  phase_id_ = NetStore::global().open_phase(cfg_);
+  phase_start_s_ = clock_s;
+  rate_first_.assign(num_flows, 0.0);
+  rate_last_.assign(num_flows, 0.0);
+  step_samples_.clear();
+  return true;
+}
+
+void NetPhaseCollector::on_segment(std::uint32_t step, double t0_s, double t1_s,
+                                   const std::vector<std::vector<LinkId>>& paths,
+                                   const std::vector<std::uint8_t>& active,
+                                   const std::vector<double>& rates) {
+  if (!active_) return;
+  if (step == 0) {
+    for (std::size_t f = 0; f < paths.size(); ++f) {
+      if (active[f]) rate_first_[f] = rates[f];
+    }
+  }
+  if (step >= cfg_.link_steps || cfg_.link_top_k == 0) return;
+
+  // Per-link accounting with a dense scratch + touched list (the
+  // FairShareSolver pattern): one pass over (flow, link) incidences.
+  std::size_t max_link = 0;
+  for (std::size_t f = 0; f < paths.size(); ++f) {
+    if (!active[f]) continue;
+    for (const LinkId l : paths[f]) max_link = std::max<std::size_t>(max_link, l);
+  }
+  if (link_rate_.size() <= max_link) {
+    link_rate_.resize(max_link + 1, 0.0);
+    link_count_.resize(max_link + 1, 0);
+    link_fair_.resize(max_link + 1, 0.0);
+  }
+  touched_.clear();
+  for (std::size_t f = 0; f < paths.size(); ++f) {
+    if (!active[f]) continue;
+    for (const LinkId l : paths[f]) {
+      if (link_count_[l] == 0) {
+        touched_.push_back(l);
+        link_rate_[l] = 0.0;
+        link_fair_[l] = rates[f];
+      }
+      ++link_count_[l];
+      link_rate_[l] += rates[f];
+      link_fair_[l] = std::min(link_fair_[l], rates[f]);
+    }
+  }
+
+  // Keep the top-K most utilized links of the segment (insertion select,
+  // ties broken toward the lower link id for determinism).
+  std::vector<NetLinkSample>& out = step_samples_;
+  const std::size_t base = out.size();
+  for (const std::uint32_t l : touched_) {
+    NetLinkSample sample;
+    sample.phase = phase_id_;
+    sample.step = static_cast<std::int32_t>(step);
+    sample.link = l;
+    sample.t0_s = t0_s;
+    sample.t1_s = t1_s;
+    sample.utilization = link_rate_[l];  // rate sum; scaled in end_phase
+    sample.flows = link_count_[l];
+    sample.fair_bps = link_fair_[l];
+    auto begin = out.begin() + static_cast<std::ptrdiff_t>(base);
+    auto pos = std::find_if(begin, out.end(), [&](const NetLinkSample& s) {
+      return sample.utilization > s.utilization ||
+             (sample.utilization == s.utilization && sample.link < s.link);
+    });
+    if (pos != out.end() || out.size() - base < cfg_.link_top_k) {
+      out.insert(pos, sample);
+      if (out.size() - base > cfg_.link_top_k) out.pop_back();
+    }
+    link_count_[l] = 0;  // reset scratch as we go
+  }
+}
+
+void NetPhaseCollector::flow_done(std::size_t f, double rate_bps) {
+  if (!active_) return;
+  rate_last_[f] = rate_bps;
+}
+
+void NetPhaseCollector::end_phase(const PhaseEnd& end) {
+  if (!active_) return;
+  active_ = false;
+  const SimParams& params = *end.params;
+  const double bandwidth = params.link_bandwidth;
+  const std::size_t num_flows = end.paths->size();
+
+  // Per-step samples carried rate sums; scale to line-rate fractions now.
+  for (NetLinkSample& sample : step_samples_) {
+    sample.utilization /= bandwidth;
+  }
+
+  std::vector<NetFlowRecord> flows;
+  flows.reserve(cfg_.flow_sample == 1 ? num_flows
+                                      : num_flows / cfg_.flow_sample + 1);
+  NetPhaseRecord phase;
+  phase.phase = phase_id_;
+  phase.flows = static_cast<std::uint32_t>(num_flows);
+  phase.steps = end.steps;
+  phase.start_s = phase_start_s_;
+  phase.elapsed_s = end.elapsed_s;
+  phase.transfer_s = end.transfer_end_s;
+
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    const bool failed = (*end.failed)[f] != 0;
+    const double penalty = (*end.penalty)[f];
+    phase.failed += failed ? 1u : 0u;
+    phase.retried += (*end.retried)[f] ? 1u : 0u;
+    if (f % cfg_.flow_sample != 0) continue;
+
+    NetFlowRecord record;
+    record.phase = phase_id_;
+    record.src = (*end.src)[f];
+    record.dst = (*end.dst)[f];
+    record.bytes = (*end.bytes)[f];
+    record.hops = (*end.hops)[f];
+    record.failed = failed;
+    record.retries = static_cast<std::uint32_t>(
+        params.retry_backoff > 0.0 ? penalty / params.retry_backoff + 0.5
+                                   : 0.0);
+    record.start_s = phase_start_s_;
+    const double finish = (*end.finish)[f];
+    if (failed) {
+      // The sender's whole bounded give-up time is fault cost.
+      record.total_s = finish;
+      record.retry_s = finish;
+    } else {
+      record.total_s = finish + penalty + params.mpi_overhead +
+                       record.hops * params.hop_latency;
+      record.serialization_s = static_cast<double>(record.bytes) / bandwidth;
+      // Queueing is the transfer-time remainder, so the five terms sum to
+      // total_s exactly (the acceptance bound in docs/telemetry.md).
+      record.queue_s = finish - record.serialization_s;
+      record.hop_s = record.hops * params.hop_latency;
+      record.retry_s = penalty;
+      record.overhead_s = params.mpi_overhead;
+      if (finish > 0.0) {
+        record.rate_mean_bps = static_cast<double>(record.bytes) / finish;
+      }
+    }
+    record.rate_first_bps = rate_first_[f];
+    record.rate_last_bps = rate_last_[f];
+    flows.push_back(record);
+  }
+  phase.completed = phase.flows - phase.failed;
+
+  // Whole-phase link buckets (step -1) from the per-link byte totals:
+  // utilization over the transfer window, crossing-flow count, and the
+  // slowest mean rate among the crossers. One extra (flow, link) pass,
+  // paid only on traced runs.
+  const double t = end.transfer_end_s;
+  if (t > 0.0 && cfg_.link_top_k > 0) {
+    std::size_t max_link = 0;
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      for (const LinkId l : (*end.paths)[f]) {
+        max_link = std::max<std::size_t>(max_link, l);
+      }
+    }
+    if (link_rate_.size() <= max_link) {
+      link_rate_.resize(max_link + 1, 0.0);
+      link_count_.resize(max_link + 1, 0);
+      link_fair_.resize(max_link + 1, 0.0);
+    }
+    touched_.clear();
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      if ((*end.failed)[f]) continue;
+      const double flow_bytes = static_cast<double>((*end.bytes)[f]);
+      if (flow_bytes <= 0.0) continue;
+      const double finish = (*end.finish)[f];
+      const double mean_bps = finish > 0.0 ? flow_bytes / finish : 0.0;
+      for (const LinkId l : (*end.paths)[f]) {
+        if (link_count_[l] == 0) {
+          touched_.push_back(l);
+          link_rate_[l] = 0.0;
+          link_fair_[l] = mean_bps;
+        }
+        ++link_count_[l];
+        link_rate_[l] += flow_bytes;
+        link_fair_[l] = std::min(link_fair_[l], mean_bps);
+      }
+    }
+    const double capacity = bandwidth * t;
+    const std::size_t base = step_samples_.size();
+    for (const std::uint32_t l : touched_) {
+      NetLinkSample sample;
+      sample.phase = phase_id_;
+      sample.step = -1;
+      sample.link = l;
+      sample.t0_s = phase_start_s_;
+      sample.t1_s = phase_start_s_ + t;
+      sample.utilization = link_rate_[l] / capacity;
+      sample.flows = link_count_[l];
+      sample.fair_bps = link_fair_[l];
+      phase.max_utilization = std::max(phase.max_utilization, sample.utilization);
+      auto begin = step_samples_.begin() + static_cast<std::ptrdiff_t>(base);
+      auto pos = std::find_if(begin, step_samples_.end(),
+                              [&](const NetLinkSample& s) {
+                                return sample.utilization > s.utilization ||
+                                       (sample.utilization == s.utilization &&
+                                        sample.link < s.link);
+                              });
+      if (pos != step_samples_.end() ||
+          step_samples_.size() - base < cfg_.link_top_k) {
+        step_samples_.insert(pos, sample);
+        if (step_samples_.size() - base > cfg_.link_top_k) {
+          step_samples_.pop_back();
+        }
+      }
+      link_count_[l] = 0;
+    }
+  }
+
+  NetStore::global().push(flows, step_samples_, phase);
+  step_samples_.clear();
+}
+
+}  // namespace orp
+
+#endif  // ORP_OBS_DISABLED

@@ -274,6 +274,66 @@ TEST(BenchDiff, DisjointSeriesArePartitioned) {
   EXPECT_FALSE(diff.any_regression);
 }
 
+TEST(BenchDiff, CountersSourceMismatchIsFlagged) {
+  BenchReport baseline = one_series("unit.x", 1000.0, 5.0);
+  BenchReport current = one_series("unit.x", 1000.0, 5.0);
+  baseline.counters_source = "perf_event";
+  current.counters_source = "rusage";
+  const DiffResult diff = diff_reports(baseline, current);
+  EXPECT_TRUE(diff.counters_mismatch);
+  EXPECT_FALSE(diff.any_regression);  // informational, never a verdict
+  EXPECT_FALSE(diff_reports(baseline, baseline).counters_mismatch);
+}
+
+TEST(BenchDiff, HwColumnsNeedBothSidesValid) {
+  BenchReport baseline = one_series("unit.x", 1000.0, 5.0);
+  BenchReport current = one_series("unit.x", 1000.0, 5.0);
+  baseline.counters_source = "perf_event";
+  current.counters_source = "perf_event";
+  baseline.entries[0].hw = {true, 3000.0, 6000.0, 2.0, 10.0, 1.0};
+  // current side has no valid counters: the row must not claim hw data.
+  const DiffResult half = diff_reports(baseline, current);
+  ASSERT_EQ(half.rows.size(), 1u);
+  EXPECT_FALSE(half.rows[0].hw_valid);
+
+  current.entries[0].hw = {true, 3300.0, 6000.0, 1.8, 12.0, 1.5};
+  const DiffResult both = diff_reports(baseline, current);
+  ASSERT_EQ(both.rows.size(), 1u);
+  EXPECT_TRUE(both.rows[0].hw_valid);
+  EXPECT_DOUBLE_EQ(both.rows[0].old_cycles, 3000.0);
+  EXPECT_DOUBLE_EQ(both.rows[0].new_cycles, 3300.0);
+  EXPECT_DOUBLE_EQ(both.rows[0].old_ipc, 2.0);
+  EXPECT_DOUBLE_EQ(both.rows[0].new_ipc, 1.8);
+}
+
+TEST(BenchDiff, TableSkipsHwColumnsUnlessAsked) {
+  BenchReport baseline = one_series("unit.x", 1000.0, 5.0);
+  BenchReport current = one_series("unit.x", 1000.0, 5.0);
+  baseline.entries[0].hw = {true, 3000.0, 6000.0, 2.0, 10.0, 1.0};
+  current.entries[0].hw = {true, 3300.0, 6000.0, 1.8, 12.0, 1.5};
+  const DiffResult diff = diff_reports(baseline, current);
+
+  const Table plain = diff_table(diff);
+  EXPECT_EQ(plain.columns(), 5u);  // wall-clock columns only
+  const Table hw = diff_table(diff, /*include_hw=*/true);
+  EXPECT_EQ(hw.columns(), 9u);
+  std::ostringstream os;
+  hw.print(os);
+  EXPECT_NE(os.str().find("cyc/op"), std::string::npos);
+  EXPECT_NE(os.str().find("3300"), std::string::npos);
+
+  // Rows without counters render as "-" placeholders, not zeros.
+  BenchEntry extra = baseline.entries[0];
+  extra.name = "unit.y";
+  extra.hw = HwStats{};
+  baseline.entries.push_back(extra);
+  current.entries.push_back(extra);
+  const Table mixed = diff_table(diff_reports(baseline, current), true);
+  std::ostringstream mos;
+  mixed.print_markdown(mos);
+  EXPECT_NE(mos.str().find("| - | - | - | - |"), std::string::npos);
+}
+
 TEST(BenchDiff, TableHasOneRowPerSharedSeries) {
   BenchReport baseline = one_series("unit.x", 1000.0, 5.0);
   BenchReport current = one_series("unit.x", 2000.0, 5.0);

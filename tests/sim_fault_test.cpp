@@ -315,5 +315,163 @@ TEST(MachineFaults, EventsApplyAcrossMultiplePhases) {
   EXPECT_FALSE(m.graph().has_switch_edge(0, 2));
 }
 
+TEST(MachineRepairs, LinkRepairRestoresDirectRoute) {
+  // Triangle: the direct s0-s2 cable dies mid-phase (flow detours via s1),
+  // then a kLinkUp repairs it — the next phase routes back over the direct
+  // edge and matches the healthy run exactly.
+  HostSwitchGraph g(2, 3, 4);
+  g.attach_host(0, 0);
+  g.attach_host(1, 2);
+  g.add_switch_edge(0, 1);
+  g.add_switch_edge(1, 2);
+  g.add_switch_edge(0, 2);
+
+  SimParams params;
+  Machine healthy(g, params);
+  const double t_healthy = healthy.phase({{0, 1, 100u << 20}});
+
+  Machine m(g, params);
+  FaultEvent down;
+  down.time = t_healthy / 2;
+  down.kind = FaultEvent::Kind::kLinkDown;
+  down.a = 0;
+  down.b = 2;
+  m.inject_faults({down});
+  const double t_degraded = m.phase({{0, 1, 100u << 20}});
+  EXPECT_GT(t_degraded, t_healthy);
+  EXPECT_EQ(m.route_hops(0, 1), 4u);
+
+  FaultEvent up;
+  up.time = m.now();  // already due: applies as the next phase starts
+  up.kind = FaultEvent::Kind::kLinkUp;
+  up.a = 0;
+  up.b = 2;
+  m.inject_faults({up});
+  const double t_repaired = m.phase({{0, 1, 100u << 20}});
+
+  EXPECT_TRUE(m.graph().has_switch_edge(0, 2));
+  EXPECT_EQ(m.route_hops(0, 1), 3u);  // rerouted back onto the direct edge
+  EXPECT_DOUBLE_EQ(t_repaired, t_healthy);
+  EXPECT_EQ(m.fault_stats().links_repaired, 1u);
+  EXPECT_EQ(m.fault_stats().flows_retried, 1u);
+  EXPECT_EQ(m.fault_stats().flows_failed, 0u);
+  EXPECT_EQ(m.last_phase_stats().completed, 1u);
+  EXPECT_EQ(m.last_phase_stats().retried, 0u);
+}
+
+TEST(MachineRepairs, LinkRepairIsNoOpWhileEndpointDead) {
+  // kLinkUp targeting a dead switch must not resurrect the cable; the
+  // switch has to be repaired first (see fault.hpp).
+  HostSwitchGraph g = line_graph();
+  Machine m(g);
+  FaultEvent down;
+  down.time = 0.0;
+  down.kind = FaultEvent::Kind::kSwitchDown;
+  down.a = 2;
+  FaultEvent up;
+  up.time = 0.0;  // same instant: stable order applies it after the down
+  up.kind = FaultEvent::Kind::kLinkUp;
+  up.a = 1;
+  up.b = 2;
+  m.inject_faults({down, up});
+
+  m.phase({{0, 1, 1 << 20}});
+  EXPECT_EQ(m.fault_stats().events_applied, 2u);
+  EXPECT_EQ(m.fault_stats().links_repaired, 0u);
+  EXPECT_FALSE(m.graph().has_switch_edge(1, 2));
+  EXPECT_FALSE(m.rank_alive(1));
+  EXPECT_EQ(m.last_phase_stats().failed, 1u);
+}
+
+TEST(MachineRepairs, SwitchRepairReadmitsRanksAndRestoresLinks) {
+  // Line: s2 dies (flow to rank 1 fails, rank goes dark); kSwitchUp brings
+  // the switch, its recorded s1-s2 cable, and the rank back, and the next
+  // phase completes at the healthy rate.
+  HostSwitchGraph g = line_graph();
+  SimParams params;
+  Machine healthy(g, params);
+  const double t_healthy = healthy.phase({{0, 1, 1 << 20}});
+
+  Machine m(g, params);
+  FaultEvent down;
+  down.time = 0.0;
+  down.kind = FaultEvent::Kind::kSwitchDown;
+  down.a = 2;
+  m.inject_faults({down});
+  m.phase({{0, 1, 1 << 20}});
+  EXPECT_FALSE(m.rank_alive(1));
+  EXPECT_EQ(m.last_phase_stats().failed, 1u);
+
+  FaultEvent up;
+  up.time = m.now();
+  up.kind = FaultEvent::Kind::kSwitchUp;
+  up.a = 2;
+  m.inject_faults({up});
+  const double t_repaired = m.phase({{0, 1, 1 << 20}});
+
+  EXPECT_TRUE(m.rank_alive(1));
+  EXPECT_TRUE(m.graph().has_switch_edge(1, 2));
+  EXPECT_DOUBLE_EQ(t_repaired, t_healthy);
+  EXPECT_EQ(m.fault_stats().switches_repaired, 1u);
+  EXPECT_EQ(m.last_phase_stats().completed, 1u);
+  EXPECT_EQ(m.last_phase_stats().failed, 0u);
+}
+
+TEST(MachineRepairs, SwitchRepairSkipsIndependentlyFailedCable) {
+  // The cable 1-2 fails on its own AFTER s2 died (the kLinkDown unrecords
+  // it from s2's frozen adjacency), so repairing s2 re-admits the rank but
+  // must NOT resurrect that cable — host1 stays unreachable.
+  HostSwitchGraph g = line_graph();
+  Machine m(g);
+  FaultEvent sdown;
+  sdown.time = 0.0;
+  sdown.kind = FaultEvent::Kind::kSwitchDown;
+  sdown.a = 2;
+  FaultEvent ldown;
+  ldown.time = 0.0;  // strikes the already-removed edge: unrecord only
+  ldown.kind = FaultEvent::Kind::kLinkDown;
+  ldown.a = 1;
+  ldown.b = 2;
+  FaultEvent sup;
+  sup.time = 0.0;  // same instant: injection order is the apply order
+  sup.kind = FaultEvent::Kind::kSwitchUp;
+  sup.a = 2;
+  m.inject_faults({sdown, ldown, sup});
+
+  m.phase({{0, 1, 1 << 20}});
+  EXPECT_TRUE(m.rank_alive(1));  // rank re-admitted...
+  EXPECT_FALSE(m.graph().has_switch_edge(1, 2));  // ...but the cable is gone
+  EXPECT_EQ(m.fault_stats().switches_repaired, 1u);
+  EXPECT_EQ(m.fault_stats().links_repaired, 0u);
+  EXPECT_EQ(m.last_phase_stats().failed, 1u);  // no route to host1
+}
+
+TEST(MachineRepairs, RepairEventsAreIdempotent) {
+  // Repairing an intact link or switch changes nothing: the healthy run's
+  // timing is preserved and no repair is counted.
+  HostSwitchGraph g = line_graph();
+  Machine healthy(g);
+  const double t_healthy = healthy.phase({{0, 1, 1 << 20}});
+
+  Machine m(g);
+  FaultEvent lup;
+  lup.time = 0.0;
+  lup.kind = FaultEvent::Kind::kLinkUp;
+  lup.a = 0;
+  lup.b = 1;
+  FaultEvent sup;
+  sup.time = 0.0;
+  sup.kind = FaultEvent::Kind::kSwitchUp;
+  sup.a = 1;
+  m.inject_faults({lup, sup});
+  const double t = m.phase({{0, 1, 1 << 20}});
+
+  EXPECT_DOUBLE_EQ(t, t_healthy);
+  EXPECT_EQ(m.fault_stats().events_applied, 2u);
+  EXPECT_EQ(m.fault_stats().links_repaired, 0u);
+  EXPECT_EQ(m.fault_stats().switches_repaired, 0u);
+  EXPECT_EQ(m.last_phase_stats().failed, 0u);
+}
+
 }  // namespace
 }  // namespace orp

@@ -1,0 +1,227 @@
+// End-to-end network-telemetry tests: a Machine runs traced workloads
+// (including a mid-phase fault and its repair), the sink flush drains the
+// collector into the JSONL trace, and the orp_report analyzer reads it
+// back. Asserts the acceptance criteria of docs/telemetry.md: every flow's
+// attribution terms sum to its measured completion time, phase elapsed
+// equals the slowest flow, and the rendered network section is
+// byte-deterministic across identical runs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "obs/sink.hpp"
+#include "obs/trace_analysis.hpp"
+#include "search/random_init.hpp"
+#include "sim/machine.hpp"
+#include "sim/telemetry/telemetry.hpp"
+
+namespace orp {
+namespace {
+
+// ---- config / spec parsing (compiled under ORP_OBS_DISABLED too) --------
+
+TEST(NetTelemetrySpec, KnobListOverridesFields) {
+  NetTelemetryConfig base;  // defaults
+  set_net_telemetry(base);
+  ASSERT_TRUE(apply_net_telemetry_spec("flow_sample=4,link_steps=2"));
+#ifndef ORP_OBS_DISABLED
+  EXPECT_TRUE(net_telemetry().enabled);
+  EXPECT_EQ(net_telemetry().flow_sample, 4u);
+  EXPECT_EQ(net_telemetry().link_steps, 2u);
+  EXPECT_EQ(net_telemetry().link_top_k, base.link_top_k);  // untouched
+#endif
+  set_net_telemetry(base);
+}
+
+TEST(NetTelemetrySpec, OffAndOnToggle) {
+  NetTelemetryConfig base;
+  set_net_telemetry(base);
+  ASSERT_TRUE(apply_net_telemetry_spec("off"));
+#ifndef ORP_OBS_DISABLED
+  EXPECT_FALSE(net_telemetry().enabled);
+#endif
+  ASSERT_TRUE(apply_net_telemetry_spec("on"));
+#ifndef ORP_OBS_DISABLED
+  EXPECT_TRUE(net_telemetry().enabled);
+#endif
+  set_net_telemetry(base);
+}
+
+TEST(NetTelemetrySpec, MalformedSpecIsRejectedAndConfigKept) {
+  NetTelemetryConfig base;
+  base.flow_sample = 7;
+  set_net_telemetry(base);
+  EXPECT_FALSE(apply_net_telemetry_spec("flow_sample"));       // no '='
+  EXPECT_FALSE(apply_net_telemetry_spec("no_such_knob=1"));    // unknown
+  EXPECT_FALSE(apply_net_telemetry_spec("flow_sample=abc"));   // not a number
+#ifndef ORP_OBS_DISABLED
+  EXPECT_EQ(net_telemetry().flow_sample, 7u);  // untouched by failures
+#endif
+  set_net_telemetry(NetTelemetryConfig{});
+}
+
+#ifndef ORP_OBS_DISABLED
+
+// ---- end-to-end: traced sim -> flush -> analyzer -------------------------
+
+// Triangle s0-s1-s2 with one host at each end: the direct s0-s2 edge can
+// die mid-phase (flow detours via s1) and be repaired.
+HostSwitchGraph triangle() {
+  HostSwitchGraph g(2, 3, 4);
+  g.attach_host(0, 0);
+  g.attach_host(1, 2);
+  g.add_switch_edge(0, 1);
+  g.add_switch_edge(1, 2);
+  g.add_switch_edge(0, 2);
+  return g;
+}
+
+// Runs the canonical traced workload: a healthy phase, a phase with a
+// mid-transfer link failure (retry), a repair, a healthy phase again, and
+// an 8-rank alltoall for flow volume. Returns the phase() elapsed times.
+std::vector<double> run_workload() {
+  std::vector<double> elapsed;
+  Machine m(triangle());
+  elapsed.push_back(m.phase({{0, 1, 10u << 20}}));
+  FaultEvent down;
+  down.time = m.now() + elapsed.back() / 2;
+  down.kind = FaultEvent::Kind::kLinkDown;
+  down.a = 0;
+  down.b = 2;
+  m.inject_faults({down});
+  elapsed.push_back(m.phase({{0, 1, 10u << 20}}));
+  FaultEvent up;
+  up.time = m.now();
+  up.kind = FaultEvent::Kind::kLinkUp;
+  up.a = 0;
+  up.b = 2;
+  m.inject_faults({up});
+  elapsed.push_back(m.phase({{0, 1, 10u << 20}}));
+
+  Xoshiro256 rng(17);
+  Machine all(random_host_switch_graph(8, 4, 6, rng));
+  all.alltoall(1 << 16);
+  return elapsed;
+}
+
+std::string trace_workload(const char* stem) {
+  const std::string path = testing::TempDir() + stem;
+  obs::SinkConfig config = obs::parse_sink(path);
+  config.snapshot_ms = 0;  // keep the trace free of sampler noise
+  if (!obs::configure(config)) ADD_FAILURE() << "cannot open " << path;
+  net_detail::reset_for_tests();
+  run_workload();
+  obs::flush();
+  obs::configure(obs::SinkConfig{});  // detach so later tests start clean
+  return path;
+}
+
+TEST(SimTelemetryEndToEnd, AttributionTermsSumToMeasuredCompletionTime) {
+  set_net_telemetry(NetTelemetryConfig{});
+  const std::string path = trace_workload("sim_telemetry_e2e.jsonl");
+  const obs::report::TraceAnalysis a = obs::report::analyze_trace_file(path);
+  std::remove(path.c_str());
+
+  const obs::report::NetworkAnalysis& net = a.network;
+  ASSERT_TRUE(net.present);
+  // 3 triangle phases with 1 flow each + 7 alltoall rounds of 8 flows.
+  EXPECT_EQ(net.phases.size(), 10u);
+  EXPECT_EQ(net.flows.size(), 3u + 7u * 8u);
+  EXPECT_EQ(net.flows_seen, net.flows_kept);  // reservoirs never dropped
+  EXPECT_GE(net.retried, 1u);                 // the mid-phase fault
+  EXPECT_EQ(net.failed, 0u);
+  EXPECT_FALSE(net.link_samples.empty());
+
+  // The acceptance bound is 1e-6 s; the terms are exact by construction,
+  // so demand far better than that.
+  EXPECT_LT(net.max_residual_s, 1e-9);
+  for (const obs::report::NetFlow& f : net.flows) {
+    const double sum = f.ser_s + f.queue_s + f.hop_s + f.retry_s +
+                       f.overhead_s;
+    EXPECT_NEAR(sum, f.total_s, 1e-9) << "flow " << f.src << "->" << f.dst;
+    EXPECT_GT(f.ser_s, 0.0);
+    EXPECT_GE(f.queue_s, -1e-12);
+  }
+}
+
+TEST(SimTelemetryEndToEnd, PhaseElapsedEqualsSlowestFlow) {
+  set_net_telemetry(NetTelemetryConfig{});
+  const std::string path = trace_workload("sim_telemetry_phase.jsonl");
+  const obs::report::TraceAnalysis a = obs::report::analyze_trace_file(path);
+  std::remove(path.c_str());
+
+  const obs::report::NetworkAnalysis& net = a.network;
+  ASSERT_TRUE(net.present);
+  for (const obs::report::NetPhase& p : net.phases) {
+    double slowest = 0.0;
+    std::uint32_t counted = 0;
+    for (const obs::report::NetFlow& f : net.flows) {
+      if (f.phase != p.phase) continue;
+      slowest = std::max(slowest, f.total_s);
+      ++counted;
+    }
+    ASSERT_EQ(counted, p.flows);
+    EXPECT_NEAR(p.elapsed_s, slowest, 1e-12 + 1e-9 * slowest);
+  }
+}
+
+TEST(SimTelemetryEndToEnd, NetworkSectionIsByteDeterministic) {
+  set_net_telemetry(NetTelemetryConfig{});
+  const auto network_section = [](const std::string& path) {
+    const std::string md =
+        obs::report::render_markdown(obs::report::analyze_trace_file(path));
+    const std::size_t begin = md.find("## Network");
+    const std::size_t end = md.find("## Annealer");
+    EXPECT_NE(begin, std::string::npos);
+    EXPECT_NE(end, std::string::npos);
+    return md.substr(begin, end - begin);
+  };
+  const std::string p1 = trace_workload("sim_telemetry_det1.jsonl");
+  const std::string s1 = network_section(p1);
+  std::remove(p1.c_str());
+  const std::string p2 = trace_workload("sim_telemetry_det2.jsonl");
+  const std::string s2 = network_section(p2);
+  std::remove(p2.c_str());
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(s1.find("### Latency attribution"), std::string::npos);
+}
+
+TEST(SimTelemetryEndToEnd, DisabledConfigSuppressesRecords) {
+  NetTelemetryConfig off;
+  off.enabled = false;
+  set_net_telemetry(off);
+  const std::string path = trace_workload("sim_telemetry_off.jsonl");
+  const obs::report::TraceAnalysis a = obs::report::analyze_trace_file(path);
+  std::remove(path.c_str());
+  EXPECT_FALSE(a.network.present);
+  set_net_telemetry(NetTelemetryConfig{});
+}
+
+TEST(SimTelemetryEndToEnd, FlowSamplingKeepsEveryNthFlowButAllPhases) {
+  NetTelemetryConfig sampled;
+  sampled.flow_sample = 4;
+  set_net_telemetry(sampled);
+  const std::string path = trace_workload("sim_telemetry_sampled.jsonl");
+  const obs::report::TraceAnalysis a = obs::report::analyze_trace_file(path);
+  std::remove(path.c_str());
+  set_net_telemetry(NetTelemetryConfig{});
+
+  const obs::report::NetworkAnalysis& net = a.network;
+  ASSERT_TRUE(net.present);
+  EXPECT_EQ(net.phases.size(), 10u);  // phase records are never sampled
+  // Every phase keeps ceil(flows/4) of its flows: the three 1-flow
+  // triangle phases keep their only flow, the 8-flow rounds keep 2.
+  EXPECT_EQ(net.flows.size(), 3u + 7u * 2u);
+  // Phase-level degradation counters still cover ALL flows.
+  std::uint64_t phase_flows = 0;
+  for (const obs::report::NetPhase& p : net.phases) phase_flows += p.flows;
+  EXPECT_EQ(phase_flows, 3u + 7u * 8u);
+}
+
+#endif  // ORP_OBS_DISABLED
+
+}  // namespace
+}  // namespace orp

@@ -2,8 +2,10 @@
 //
 // Reads one trace (and optionally the run ledger), prints a markdown or
 // CSV report: span self-time profile, counter rates from the snapshot
-// sampler stream, flow-event accounting, and annealer convergence
-// diagnostics (windowed acceptance rate vs temperature, stall verdict).
+// sampler stream, flow-event accounting, annealer convergence
+// diagnostics (windowed acceptance rate vs temperature, stall verdict),
+// and the simulator's network telemetry (per-flow latency attribution,
+// link heatmap, per-phase bottleneck links — see docs/telemetry.md).
 //
 // Exit codes: 0 ok, 1 diagnostic failure (malformed trace lines unless
 // --allow-malformed, or a trace with zero events), 2 usage error. CI runs
@@ -33,6 +35,7 @@ int run(int argc, const char* const* argv) {
   cli.option("out", "", "write the report here instead of stdout");
   cli.option("top", "20", "spans listed per category in the profile");
   cli.option("windows", "8", "convergence windows");
+  cli.option("net-top", "12", "rows per table in the network section");
   cli.flag("allow-malformed", "do not fail on unparseable trace lines");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -52,6 +55,8 @@ int run(int argc, const char* const* argv) {
   options.top_k = static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("top")));
   options.windows =
       static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("windows")));
+  options.net_top =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("net-top")));
 
   const TraceAnalysis analysis = analyze_trace_file(cli.positional()[0], options);
 
