@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
     options.iterations = iterations;
     options.seed = bench_seed();
     options.force_switch_count = m;
-    options.eval = cli_eval_strategy();
+    apply_cli_search_options(options);
     options.trace_every = trace_csv.empty() ? 0 : trace_every;
     const auto sa = solve_orp(n, r, options);
     table.row()

@@ -17,6 +17,7 @@
 #include "common/cli.hpp"
 #include "common/shutdown.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "obs/ledger.hpp"
 #include "obs/sink.hpp"
 #include "search/solver.hpp"
@@ -46,8 +47,42 @@ inline EvalStrategy& cli_eval_strategy() {
   return strategy;
 }
 
+/// The --search-backend parsed by parse_cli_with_obs (serial unless the
+/// binary was invoked with --search-backend pool).
+inline SearchBackend& cli_search_backend() {
+  static SearchBackend backend = SearchBackend::kSerial;
+  return backend;
+}
+
+/// --replicas: ladder size K of the pool backend.
+inline std::uint32_t& cli_replicas() {
+  static std::uint32_t replicas = 4;
+  return replicas;
+}
+
+/// --swap-interval: moves between replica-exchange barriers.
+inline std::uint64_t& cli_swap_interval() {
+  static std::uint64_t interval = 512;
+  return interval;
+}
+
+/// Copies the shared search CLI selections (--eval, --search-backend,
+/// --replicas, --swap-interval) into `options`, attaching the global thread
+/// pool when the pool backend is requested.
+inline void apply_cli_search_options(SolveOptions& options) {
+  options.eval = cli_eval_strategy();
+  options.backend = cli_search_backend();
+  options.replicas = cli_replicas();
+  options.swap_interval = cli_swap_interval();
+  if (options.backend == SearchBackend::kPool && !options.pool) {
+    options.pool = &ThreadPool::global();
+  }
+}
+
 /// Builds the paper's proposed topology for (n, r): m_opt switches, SA with
-/// the 2-neighbor swing operation.
+/// the 2-neighbor swing operation. Honors the shared search CLI flags, so
+/// --search-backend pool turns every fig/abl bench's SA into
+/// replica-exchange tempering at the same total move budget.
 inline SolveResult build_proposed(std::uint32_t n, std::uint32_t r,
                                   std::uint64_t iterations,
                                   std::uint64_t seed = 0) {
@@ -55,7 +90,7 @@ inline SolveResult build_proposed(std::uint32_t n, std::uint32_t r,
   options.iterations = iterations;
   options.seed = seed ? seed : bench_seed();
   options.mode = MoveMode::kTwoNeighborSwing;
-  options.eval = cli_eval_strategy();
+  apply_cli_search_options(options);
   return solve_orp(n, r, options);
 }
 
@@ -82,6 +117,13 @@ inline bool parse_cli_with_obs(CliParser& cli, int argc, const char* const* argv
   cli.option("eval", "delta",
              "h-ASPL evaluation in SA: delta (incremental) or full "
              "(from-scratch per move)");
+  cli.option("search-backend", "serial",
+             "SA engine: serial (one chain) or pool (replica-exchange "
+             "tempering on the thread pool; see docs/search.md)");
+  cli.option("replicas", "4",
+             "temperature-ladder size K of the pool search backend");
+  cli.option("swap-interval", "512",
+             "moves between replica-exchange barriers (pool backend)");
   cli.option("net-telemetry", "",
              "network telemetry spec: off, on, default, or knob=value list "
              "(e.g. flow_sample=4,link_steps=64 — see docs/telemetry.md)");
@@ -96,6 +138,13 @@ inline bool parse_cli_with_obs(CliParser& cli, int argc, const char* const* argv
   // record, so every bench invocation lands in $ORP_RUN_LEDGER.
   obs::ledger_capture_argv(argc, argv);
   cli_eval_strategy() = parse_eval_strategy(cli.get("eval"));
+  cli_search_backend() = parse_search_backend(cli.get("search-backend"));
+  const std::int64_t replicas = cli.get_int("replicas");
+  if (replicas < 1) throw std::invalid_argument("--replicas must be >= 1");
+  cli_replicas() = static_cast<std::uint32_t>(replicas);
+  const std::int64_t interval = cli.get_int("swap-interval");
+  if (interval < 1) throw std::invalid_argument("--swap-interval must be >= 1");
+  cli_swap_interval() = static_cast<std::uint64_t>(interval);
   return true;
 }
 

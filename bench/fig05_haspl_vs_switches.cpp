@@ -73,7 +73,7 @@ void run_panel(std::uint32_t n, std::uint32_t r, std::uint64_t iterations) {
       options.mode = MoveMode::kSwap;
       options.regular_start = true;
       options.force_switch_count = m;
-      options.eval = cli_eval_strategy();
+      apply_cli_search_options(options);
       table.add(solve_orp(n, r, options).metrics.h_aspl);
     } else {
       table.add("-");
@@ -84,7 +84,7 @@ void run_panel(std::uint32_t n, std::uint32_t r, std::uint64_t iterations) {
     options.seed = bench_seed() + m;
     options.mode = MoveMode::kTwoNeighborSwing;
     options.force_switch_count = m;
-    options.eval = cli_eval_strategy();
+    apply_cli_search_options(options);
     table.add(solve_orp(n, r, options).metrics.h_aspl);
 
     if (n % m == 0) {

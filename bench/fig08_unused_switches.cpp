@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   options.seed = bench_seed();
   options.mode = MoveMode::kTwoNeighborSwing;
   options.force_switch_count = m;
-  options.eval = cli_eval_strategy();
+  apply_cli_search_options(options);
   const SolveResult result = solve_orp(n, r, options);
 
   print_header("Fig. 8: (n, m, r) = (1024, 1024, 24), SA 2-neighbor swing");

@@ -7,7 +7,9 @@
 //                neighborhood mode (ns/op covers a fixed 64-iteration run)
 //   search     — delta (incremental) vs full h-ASPL evaluation inside the
 //                annealer at the headline n=256/r=12 config, plus the raw
-//                evaluator apply+revert cycle
+//                evaluator apply+revert cycle, plus replica-exchange
+//                scaling (search.parallel.anneal_k{1,4,8}, fixed total
+//                move budget split across the ladder)
 //   sim        — Machine fluid-engine communication phases (collectives)
 //   partition  — multilevel partitioner stages: coarsening, FM refinement,
 //                and the end-to-end k-way host+switch cut
@@ -225,6 +227,51 @@ void register_search_delta(BenchRegistry& registry) {
   });
 }
 
+void register_search_parallel(BenchRegistry& registry) {
+  // Replica-exchange scaling: one op = a full parallel_anneal() with a
+  // FIXED TOTAL budget of 2048 moves split evenly across K rungs, fanned
+  // out over the global thread pool. On a k-core runner anneal_k8 should
+  // approach k-fold less wall time than anneal_k1 (equal total moves);
+  // single-core runners still record the exchange-protocol overhead.
+  // anneal_k1 is bit-identical to a serial anneal() of the same budget.
+  constexpr std::uint64_t kTotalMoves = 2048;
+  struct Config {
+    std::uint32_t n, r, replicas;
+    bool quick;
+  };
+  for (const Config& c : {
+           Config{256, 12, 1, true},
+           Config{256, 12, 4, true},
+           Config{256, 12, 8, true},
+           Config{512, 12, 1, false},
+           Config{512, 12, 4, false},
+           Config{512, 12, 8, false},
+       }) {
+    registry.add({
+        "search.parallel.anneal_k" + std::to_string(c.replicas) + ".n" +
+            std::to_string(c.n) + "_r" + std::to_string(c.r),
+        "search",
+        [c]() -> BenchOp {
+          auto graph = std::make_shared<HostSwitchGraph>(setup_graph(c.n, c.r));
+          return [graph, replicas = c.replicas] {
+            ParallelAnnealOptions options;
+            options.base.iterations = kTotalMoves / replicas;
+            options.base.mode = MoveMode::kTwoNeighborSwing;
+            options.base.seed = kSetupSeed;
+            options.base.initial_temperature = 0.05;
+            options.base.final_temperature = 0.005;
+            options.base.pool = &ThreadPool::global();
+            options.replicas = replicas;
+            options.swap_interval = 64;
+            const ParallelAnnealResult result = parallel_anneal(*graph, options);
+            do_not_optimize(result.result.evaluations);
+          };
+        },
+        c.quick,
+    });
+  }
+}
+
 void register_sim(BenchRegistry& registry) {
   struct Config {
     std::uint32_t n, r;
@@ -406,6 +453,7 @@ int main(int argc, char** argv) {
   register_aspl(registry);
   register_annealer(registry);
   register_search_delta(registry);
+  register_search_parallel(registry);
   register_sim(registry);
   register_partition(registry);
   register_fault(registry);

@@ -1,83 +1,13 @@
 #include "search/annealer.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <optional>
 #include <stdexcept>
 #include <string>
 
-#include "common/shutdown.hpp"
-#include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "search/operations.hpp"
+#include "search/annealer_core.hpp"
 
 namespace orp {
-namespace {
-
-// Metric handles for the SA hot loop, resolved once per process. Counter
-// names record the §5.2 move machinery: a swing either lands, or its
-// completing swing lands (net effect: swap), or the solution is restored.
-struct AnnealerInstruments {
-  obs::Counter& swap_accepted;
-  obs::Counter& swing_accepted;
-  obs::Counter& completion_accepted;
-  obs::Counter& restored;
-  obs::Counter& rejected_disconnected;
-  obs::Histogram& eval_ns;
-
-  static AnnealerInstruments& get() {
-    auto& registry = obs::Registry::global();
-    static AnnealerInstruments instance{
-        registry.counter("annealer.swap.accepted"),
-        registry.counter("annealer.swing.accepted"),
-        registry.counter("annealer.completion.accepted"),
-        registry.counter("annealer.restored"),
-        registry.counter("annealer.rejected.disconnected"),
-        registry.histogram("annealer.eval_ns")};
-    return instance;
-  }
-};
-
-using EdgeList = std::vector<std::pair<SwitchId, SwitchId>>;
-
-EdgeList collect_edges(const HostSwitchGraph& g) {
-  EdgeList edges;
-  edges.reserve(g.num_switch_edges());
-  for (SwitchId s = 0; s < g.num_switches(); ++s) {
-    for (SwitchId t : g.neighbors(s)) {
-      if (s < t) edges.emplace_back(s, t);
-    }
-  }
-  return edges;
-}
-
-void edge_list_remove(EdgeList& edges, SwitchId a, SwitchId b) {
-  if (a > b) std::swap(a, b);
-  const auto it = std::find(edges.begin(), edges.end(), std::make_pair(a, b));
-  ORP_ASSERT(it != edges.end());
-  *it = edges.back();
-  edges.pop_back();
-}
-
-void edge_list_add(EdgeList& edges, SwitchId a, SwitchId b) {
-  if (a > b) std::swap(a, b);
-  edges.emplace_back(a, b);
-}
-
-void sync_swap(EdgeList& edges, const SwapMove& m) {
-  edge_list_remove(edges, m.a, m.b);
-  edge_list_remove(edges, m.c, m.d);
-  edge_list_add(edges, m.a, m.c);
-  edge_list_add(edges, m.b, m.d);
-}
-
-void sync_swing(EdgeList& edges, const SwingMove& m) {
-  edge_list_remove(edges, m.a, m.b);
-  edge_list_add(edges, m.a, m.c);
-}
-
-}  // namespace
 
 EvalStrategy parse_eval_strategy(std::string_view name) {
   if (name == "full") return EvalStrategy::kFull;
@@ -86,243 +16,34 @@ EvalStrategy parse_eval_strategy(std::string_view name) {
                               "' (expected full or delta)");
 }
 
+// One SaChain driven start to finish. The chain owns the whole §5 move
+// machinery (search/annealer_core.cpp); this wrapper contributes the span,
+// the initial evaluation, and the schedule calibration — the pieces the
+// replica-exchange backend performs once and shares across K chains.
 AnnealResult anneal(const HostSwitchGraph& initial, const AnnealOptions& options) {
   ORP_REQUIRE(initial.fully_attached(), "anneal needs every host attached");
   ORP_REQUIRE(options.iterations > 0, "need at least one iteration");
   ORP_REQUIRE(options.initial_temperature >= 0 && options.final_temperature >= 0,
               "temperatures must be non-negative (0 = auto-calibrate)");
 
-  HostSwitchGraph current = initial;
-  EdgeList edges = collect_edges(current);
-  Xoshiro256 rng(options.seed);
-
-  AnnealerInstruments& instruments = AnnealerInstruments::get();
   obs::Span span("search.anneal", "search");
   span.arg("iterations", options.iterations);
   span.arg("hosts", static_cast<std::uint64_t>(initial.num_hosts()));
   span.arg("switches", static_cast<std::uint64_t>(initial.num_switches()));
 
-  auto evaluate = [&](const HostSwitchGraph& g) {
-    obs::ScopedTimer timer(instruments.eval_ns);
-    return compute_host_metrics(g, options.kernel, options.pool);
-  };
-
-  HostMetrics current_metrics = evaluate(current);
-  ORP_REQUIRE(current_metrics.connected, "anneal needs a connected initial solution");
-
-  // Incremental h-ASPL evaluation (the default): the evaluator mirrors
-  // `current` and repairs its distance state per move. It is exact, so the
-  // search trajectory is bit-identical to --eval full (the calibration
-  // probes below stay on full compute in both modes for the same reason).
-  std::optional<DeltaHasplEvaluator> delta_eval;
-  if (options.eval == EvalStrategy::kDelta) delta_eval.emplace(current);
-
-  auto evaluate_move = [&](const GraphDelta& delta) {
-    obs::ScopedTimer timer(instruments.eval_ns);
-    if (delta_eval) return delta_eval->apply(delta);
-    return compute_host_metrics(current, options.kernel, options.pool);
-  };
-  // Called after `current` has been restored: rejecting a move replays
-  // the evaluator's undo log (revert_last), which is much cheaper than an
-  // inverse repair. Frames nest, covering the 2-neighbor completion chain.
-  auto revert_move = [&]() {
-    if (delta_eval) delta_eval->revert_last(current);
-  };
-
-  AnnealResult result{current, current_metrics, 0, 0, {}};
-  result.evaluations = 1;
-
-  const std::uint64_t pairs =
-      static_cast<std::uint64_t>(current.num_hosts()) * (current.num_hosts() - 1) / 2;
-
-  // Auto-calibrate the schedule: sample random moves from the start state
-  // and scale T0 to the typical |delta| so the walk starts permissive and
-  // ends effectively greedy. Without this, a fixed T0 is either a pure
-  // random walk (T >> |delta|, e.g. large m) or pure descent (T << |delta|).
-  double t_initial = options.initial_temperature;
-  double t_final = options.final_temperature;
-  if (t_initial <= 0.0) {
-    Xoshiro256 probe_rng(options.seed ^ 0xa5a5a5a5ULL);
-    double abs_delta_sum = 0.0;
-    int samples = 0;
-    for (int i = 0; i < 24; ++i) {
-      // Probe with the mode's own move type so the delta scale matches.
-      HostMetrics probe;
-      if (options.mode == MoveMode::kSwap) {
-        const auto move = propose_swap(current, edges, probe_rng);
-        if (!move) break;
-        apply_swap(current, *move);
-        probe = compute_host_metrics(current, options.kernel, options.pool);
-        apply_swap(current, move->inverse());
-      } else {
-        const auto move = propose_swing(current, edges, probe_rng);
-        if (!move) break;
-        apply_swing(current, *move);
-        probe = compute_host_metrics(current, options.kernel, options.pool);
-        apply_swing(current, move->inverse());
-      }
-      if (probe.connected) {
-        abs_delta_sum += std::abs(static_cast<double>(probe.total_length) -
-                                  static_cast<double>(current_metrics.total_length)) /
-                         static_cast<double>(pairs);
-        ++samples;
-      }
-    }
-    const double mean_delta = samples ? abs_delta_sum / samples : 0.0;
-    t_initial = std::max(2.0 * mean_delta, 1e-9);
+  HostMetrics initial_metrics;
+  {
+    obs::ScopedTimer timer(obs::Registry::global().histogram("annealer.eval_ns"));
+    initial_metrics = compute_host_metrics(initial, options.kernel, options.pool);
   }
-  if (t_final <= 0.0) t_final = t_initial / 1000.0;
+  ORP_REQUIRE(initial_metrics.connected, "anneal needs a connected initial solution");
 
-  const double cooling =
-      options.iterations > 1
-          ? std::pow(t_final / t_initial,
-                     1.0 / static_cast<double>(options.iterations - 1))
-          : 1.0;
-  double temperature = t_initial;
-
-  // Scalar optimization key. For the ORP objective it is the summed pair
-  // length; for the Graph Golf ranking the diameter dominates via a weight
-  // larger than any possible length sum (pairs * (diameter levels + 3)).
-  const std::uint64_t diameter_weight =
-      pairs * (static_cast<std::uint64_t>(current.num_switches()) + 3);
-  auto key_of = [&](const HostMetrics& metrics) {
-    if (options.objective == AnnealObjective::kDiameterThenHaspl) {
-      return metrics.diameter * diameter_weight + metrics.total_length;
-    }
-    return static_cast<std::uint64_t>(metrics.total_length);
-  };
-
-  // Metropolis test on the objective delta. Disconnected candidates have
-  // infinite h-ASPL and are always rejected.
-  auto accepts = [&](const HostMetrics& cand) {
-    if (!cand.connected) {
-      instruments.rejected_disconnected.inc();
-      return false;
-    }
-    const std::uint64_t cand_key = key_of(cand);
-    const std::uint64_t current_key = key_of(current_metrics);
-    if (cand_key <= current_key) return true;
-    const double delta =
-        static_cast<double>(cand_key - current_key) / static_cast<double>(pairs);
-    return rng.bernoulli(std::exp(-delta / temperature));
-  };
-
-  auto commit = [&](const HostMetrics& cand) {
-    current_metrics = cand;
-    ++result.accepted;
-    if (key_of(cand) < key_of(result.best_metrics)) {
-      result.best = current;
-      result.best_metrics = cand;
-    }
-  };
-
-  // Windowed telemetry: every `window` iterations emit one sample of the
-  // acceptance rate, temperature, and current/best h-ASPL as counter-series
-  // trace events (only when a JSONL sink is active; the check is one
-  // relaxed load per window).
-  const std::uint64_t window =
-      options.trace_every ? options.trace_every
-                          : std::max<std::uint64_t>(1, options.iterations / 64);
-  std::uint64_t window_moves = 0;
-  std::uint64_t window_accepted = 0;
-  auto emit_window = [&](std::uint64_t at_iter) {
-    obs::Tracer& tracer = obs::Tracer::global();
-    if (!tracer.enabled()) return;
-    const double rate = window_moves
-                            ? static_cast<double>(window_accepted) /
-                                  static_cast<double>(window_moves)
-                            : 0.0;
-    // The iteration series lets orp_report map wall-clock positions (e.g.
-    // "progress flat-lined at t") back to an iteration number.
-    tracer.counter("annealer.iteration", static_cast<double>(at_iter), "search");
-    tracer.counter("annealer.acceptance_rate", rate, "search");
-    tracer.counter("annealer.temperature", temperature, "search");
-    tracer.counter("annealer.current_haspl", current_metrics.h_aspl, "search");
-    tracer.counter("annealer.best_haspl", result.best_metrics.h_aspl, "search");
-  };
-
-  std::uint64_t iter = 0;
-  for (; iter < options.iterations; ++iter, temperature *= cooling) {
-    if (shutdown_requested()) {
-      // SIGINT/SIGTERM: wind down and hand back the best-so-far.
-      result.interrupted = true;
-      break;
-    }
-    if (options.trace_every && iter % options.trace_every == 0) {
-      result.trace.push_back({iter, current_metrics.h_aspl,
-                              result.best_metrics.h_aspl, temperature});
-    }
-    if (iter % window == 0) {
-      emit_window(iter);
-      window_moves = 0;
-      window_accepted = 0;
-    }
-    ++window_moves;
-
-    if (options.mode == MoveMode::kSwap) {
-      const auto move = propose_swap(current, edges, rng);
-      if (!move) continue;
-      const GraphDelta delta = delta_of(*move);
-      apply_swap(current, *move);
-      const HostMetrics cand = evaluate_move(delta);
-      ++result.evaluations;
-      if (accepts(cand)) {
-        sync_swap(edges, *move);
-        commit(cand);
-        instruments.swap_accepted.inc();
-        ++window_accepted;
-      } else {
-        apply_swap(current, move->inverse());
-        revert_move();
-        instruments.restored.inc();
-      }
-      continue;
-    }
-
-    // kSwing and kTwoNeighborSwing both start with a swing proposal.
-    const auto first = propose_swing(current, edges, rng);
-    if (!first) continue;
-    const GraphDelta first_delta = delta_of(*first);
-    apply_swing(current, *first);
-    const HostMetrics one_neighbor = evaluate_move(first_delta);
-    ++result.evaluations;
-    if (accepts(one_neighbor)) {
-      sync_swing(edges, *first);
-      commit(one_neighbor);
-      instruments.swing_accepted.inc();
-      ++window_accepted;
-      continue;
-    }
-    if (options.mode == MoveMode::kSwing) {
-      apply_swing(current, first->inverse());
-      revert_move();
-      instruments.restored.inc();
-      continue;
-    }
-
-    // 2-neighbor completion: try the swing that turns the pair into a swap.
-    const auto completion = propose_completion_swing(current, *first, rng);
-    if (completion) {
-      const GraphDelta completion_delta = delta_of(*completion);
-      apply_swing(current, *completion);
-      const HostMetrics two_neighbor = evaluate_move(completion_delta);
-      ++result.evaluations;
-      if (accepts(two_neighbor)) {
-        sync_swing(edges, *first);
-        sync_swing(edges, *completion);
-        commit(two_neighbor);
-        instruments.completion_accepted.inc();
-        ++window_accepted;
-        continue;
-      }
-      apply_swing(current, completion->inverse());
-      revert_move();
-    }
-    apply_swing(current, first->inverse());
-    revert_move();
-    instruments.restored.inc();
-  }
-  emit_window(iter);
+  SaChain::Config config;
+  config.schedule = calibrate_schedule(initial, initial_metrics, options);
+  SaChain chain(initial, initial_metrics, options, config);
+  chain.run(options.iterations);
+  chain.finish_telemetry();
+  AnnealResult result = chain.take_result();
 
   span.arg("evaluations", result.evaluations);
   span.arg("accepted", result.accepted);

@@ -82,14 +82,31 @@ SolveResult solve_orp(std::uint32_t n, std::uint32_t r, const SolveOptions& opti
     anneal_options.kernel = options.kernel;
     anneal_options.pool = (options.pool && restarts > 1) ? nullptr : options.pool;
     anneal_options.trace_every = options.trace_every;
-    results[run] = anneal(initial, anneal_options);
+    if (options.backend == SearchBackend::kPool) {
+      // The replicas split the restart's move budget, so serial and pool
+      // runs at the same --iters spend the same total number of moves.
+      ParallelAnnealOptions pool_options;
+      pool_options.base = anneal_options;
+      pool_options.base.iterations =
+          std::max<std::uint64_t>(1, options.iterations / options.replicas);
+      pool_options.base.pool = options.pool;
+      pool_options.replicas = options.replicas;
+      pool_options.swap_interval = options.swap_interval;
+      results[run] = std::move(parallel_anneal(initial, pool_options).result);
+    } else {
+      results[run] = anneal(initial, anneal_options);
+    }
     restart_span.arg("haspl", results[run]->best_metrics.h_aspl);
   };
   {
     obs::Span phase_span("solver.sa_restarts", "search");
     phase_span.arg("restarts", static_cast<std::int64_t>(restarts));
     phase_span.arg("iterations", options.iterations);
-    if (options.pool && restarts > 1) {
+    phase_span.arg("backend", search_backend_name(options.backend));
+    // With the pool backend the replicas are the parallelism — the
+    // restarts run serially so replica fan-out gets the whole pool.
+    if (options.pool && restarts > 1 &&
+        options.backend == SearchBackend::kSerial) {
       options.pool->parallel_for(static_cast<std::size_t>(restarts), run_one);
     } else {
       for (int run = 0; run < restarts; ++run) run_one(static_cast<std::size_t>(run));

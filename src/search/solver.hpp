@@ -19,13 +19,23 @@
 
 #include "hsg/metrics.hpp"
 #include "search/annealer.hpp"
+#include "search/parallel.hpp"
 
 namespace orp {
 
 struct SolveOptions {
-  std::uint64_t iterations = 20000;   ///< SA iterations per restart
+  std::uint64_t iterations = 20000;   ///< SA move budget per restart (total
+                                      ///< across replicas for kPool)
   int restarts = 1;                   ///< independent SA runs; best kept
   std::uint64_t seed = 1;
+  /// Search engine per restart: kSerial runs one annealing chain; kPool
+  /// runs replica-exchange tempering (search/parallel.hpp) with `replicas`
+  /// rungs splitting the same `iterations` budget, so equal-budget
+  /// comparisons use the same --iters. With kPool the restarts themselves
+  /// run serially — the pool parallelism goes to the replicas.
+  SearchBackend backend = SearchBackend::kSerial;
+  std::uint32_t replicas = 4;         ///< ladder size K (kPool only)
+  std::uint64_t swap_interval = 512;  ///< moves between exchange barriers
   MoveMode mode = MoveMode::kTwoNeighborSwing;
   /// Escape hatch for the incremental evaluator (--eval full in the bench
   /// binaries); kDelta is exact and the default.

@@ -5,6 +5,7 @@
 #include "common/prng.hpp"
 #include "hsg/bounds.hpp"
 #include "search/annealer.hpp"
+#include "search/parallel.hpp"
 #include "search/random_init.hpp"
 
 namespace orp {
@@ -89,6 +90,51 @@ TEST(Annealer, FullAndDeltaAgree) {
       EXPECT_DOUBLE_EQ(full.trace[i].current_haspl, delta.trace[i].current_haspl);
       EXPECT_DOUBLE_EQ(full.trace[i].best_haspl, delta.trace[i].best_haspl);
       EXPECT_DOUBLE_EQ(full.trace[i].temperature, delta.trace[i].temperature);
+    }
+  }
+}
+
+// Differential test against the replica-exchange backend: a one-rung
+// ladder IS the serial annealer. Rung 0 keeps the seed verbatim, its
+// temperature scale is exactly 1.0, the swap schedule is empty, and no
+// restart can fire (the only rung always owns the global best) — so the
+// pool backend at K=1 must reproduce the serial walk bit for bit,
+// including the step-by-step trace.
+TEST(Annealer, PoolBackendWithOneReplicaMatchesSerialExactly) {
+  for (const MoveMode mode :
+       {MoveMode::kSwap, MoveMode::kSwing, MoveMode::kTwoNeighborSwing}) {
+    Xoshiro256 rng_serial(31), rng_pool(31);
+    const auto init_serial = random_host_switch_graph(96, 24, 8, rng_serial);
+    const auto init_pool = random_host_switch_graph(96, 24, 8, rng_pool);
+    ASSERT_TRUE(init_serial == init_pool);
+
+    auto options = quick(mode, 1200, 57);
+    options.trace_every = 1;
+    const auto serial = anneal(init_serial, options);
+
+    ParallelAnnealOptions pool_options;
+    pool_options.base = options;
+    pool_options.replicas = 1;
+    pool_options.swap_interval = 100;  // chunking must not matter
+    const auto pool = parallel_anneal(init_pool, pool_options);
+
+    EXPECT_EQ(pool.best_replica, 0u);
+    EXPECT_TRUE(serial.best == pool.result.best);
+    EXPECT_EQ(serial.accepted, pool.result.accepted);
+    EXPECT_EQ(serial.evaluations, pool.result.evaluations);
+    EXPECT_EQ(serial.best_metrics.total_length,
+              pool.result.best_metrics.total_length);
+    EXPECT_DOUBLE_EQ(serial.best_metrics.h_aspl,
+                     pool.result.best_metrics.h_aspl);
+    ASSERT_EQ(serial.trace.size(), pool.result.trace.size());
+    for (std::size_t i = 0; i < serial.trace.size(); ++i) {
+      EXPECT_EQ(serial.trace[i].iteration, pool.result.trace[i].iteration);
+      EXPECT_DOUBLE_EQ(serial.trace[i].current_haspl,
+                       pool.result.trace[i].current_haspl);
+      EXPECT_DOUBLE_EQ(serial.trace[i].best_haspl,
+                       pool.result.trace[i].best_haspl);
+      EXPECT_DOUBLE_EQ(serial.trace[i].temperature,
+                       pool.result.trace[i].temperature);
     }
   }
 }

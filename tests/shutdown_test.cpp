@@ -6,7 +6,9 @@
 
 #include "common/prng.hpp"
 #include "common/shutdown.hpp"
+#include "common/thread_pool.hpp"
 #include "search/annealer.hpp"
+#include "search/parallel.hpp"
 #include "search/random_init.hpp"
 #include "search/solver.hpp"
 
@@ -76,7 +78,54 @@ TEST_F(ShutdownTest, SolverSkipsRemainingRestartsButStillReturns) {
   EXPECT_TRUE(result.graph.fully_attached());
 }
 
+TEST_F(ShutdownTest, ParallelAnnealerWindsDownAllReplicas) {
+  Xoshiro256 rng(4);
+  const HostSwitchGraph initial = random_host_switch_graph(64, 16, 8, rng);
+  ParallelAnnealOptions options;
+  options.base.iterations = 1000000000ULL;
+  options.replicas = 4;
+  request_shutdown();
+  const ParallelAnnealResult out = parallel_anneal(initial, options);
+  EXPECT_TRUE(out.result.interrupted);
+  EXPECT_TRUE(out.result.best_metrics.connected);
+  EXPECT_TRUE(out.result.best.fully_attached());
+  // Every rung stopped at the pre-set flag: nothing beyond its initial
+  // evaluation ran on any of them.
+  EXPECT_EQ(out.result.evaluations, options.replicas);
+  for (const auto& stats : out.replicas) EXPECT_EQ(stats.moves, 0u);
+}
+
 #ifdef __unix__
+TEST_F(ShutdownTest, PoolSearchSubprocessExitsCleanlyOnSigterm) {
+  // Same end-to-end SIGTERM check as below, but for the replica-exchange
+  // backend fanned out over a real thread pool: the signal must wind down
+  // every replica, and the solver must still return a valid
+  // interrupted-but-best-so-far result.
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    reset_shutdown();
+    install_shutdown_handlers();
+    ThreadPool pool(2);
+    SolveOptions options;
+    options.iterations = 1000000000ULL;
+    options.backend = SearchBackend::kPool;
+    options.replicas = 4;
+    options.swap_interval = 256;
+    options.pool = &pool;
+    const SolveResult result = solve_orp(64, 8, options);
+    const bool ok = result.interrupted && result.metrics.connected &&
+                    result.graph.fully_attached();
+    _exit(ok ? 0 : 1);
+  }
+  usleep(100 * 1000);
+  ASSERT_EQ(kill(pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "child did not exit normally";
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
 TEST_F(ShutdownTest, SubprocessExitsCleanlyOnSigterm) {
   // Real end-to-end check: a forked child arms the handlers and starts an
   // effectively-unbounded SA run; the parent SIGTERMs it and the child must
