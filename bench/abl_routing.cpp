@@ -50,8 +50,8 @@ int main(int argc, char** argv) {
                std::to_string(bytes) + " B per rank");
   Table table({"topology", "pattern", "deterministic GB/s", "ECMP GB/s", "ECMP gain%"});
   for (const auto& candidate : candidates) {
-    SimParams det_params;
-    SimParams ecmp_params;
+    SimParams det_params = cli_sim_params();
+    SimParams ecmp_params = cli_sim_params();
     ecmp_params.routing = RoutingPolicy::kEcmp;
     Machine det(candidate.graph, det_params);
     Machine ecmp(candidate.graph, ecmp_params);

@@ -66,6 +66,21 @@ inline std::uint64_t& cli_swap_interval() {
   return interval;
 }
 
+/// The --fluid-solver parsed by parse_cli_with_obs (fast unless the
+/// binary was invoked with --fluid-solver reference).
+inline FluidSolver& cli_fluid_solver() {
+  static FluidSolver solver = FluidSolver::kFast;
+  return solver;
+}
+
+/// Default SimParams honoring the shared --fluid-solver selection; bench
+/// binaries build their Machines from this instead of SimParams{}.
+inline SimParams cli_sim_params() {
+  SimParams params;
+  params.fluid_solver = cli_fluid_solver();
+  return params;
+}
+
 /// Copies the shared search CLI selections (--eval, --search-backend,
 /// --replicas, --swap-interval) into `options`, attaching the global thread
 /// pool when the pool backend is requested.
@@ -95,9 +110,9 @@ inline SolveResult build_proposed(std::uint32_t n, std::uint32_t r,
 }
 
 /// Machine for a proposed topology: ranks follow the paper's depth-first
-/// host order (§6.2.1).
+/// host order (§6.2.1). Honors --fluid-solver unless params are given.
 inline Machine proposed_machine(const HostSwitchGraph& graph,
-                                const SimParams& params = {}) {
+                                const SimParams& params = cli_sim_params()) {
   return Machine(graph, params, dfs_host_order(graph));
 }
 
@@ -127,6 +142,9 @@ inline bool parse_cli_with_obs(CliParser& cli, int argc, const char* const* argv
   cli.option("net-telemetry", "",
              "network telemetry spec: off, on, default, or knob=value list "
              "(e.g. flow_sample=4,link_steps=64 — see docs/telemetry.md)");
+  cli.option("fluid-solver", "fast",
+             "fluid max-min allocator: fast (aggregated, warm-started) or "
+             "reference (from-scratch oracle — see docs/sim.md)");
   if (!cli.parse(argc, argv)) return false;
   obs::apply_cli(cli);
   if (const std::string spec = cli.get("net-telemetry"); !spec.empty()) {
@@ -145,6 +163,13 @@ inline bool parse_cli_with_obs(CliParser& cli, int argc, const char* const* argv
   const std::int64_t interval = cli.get_int("swap-interval");
   if (interval < 1) throw std::invalid_argument("--swap-interval must be >= 1");
   cli_swap_interval() = static_cast<std::uint64_t>(interval);
+  if (const std::string solver = cli.get("fluid-solver"); solver == "fast") {
+    cli_fluid_solver() = FluidSolver::kFast;
+  } else if (solver == "reference") {
+    cli_fluid_solver() = FluidSolver::kReference;
+  } else {
+    throw std::invalid_argument("--fluid-solver must be fast or reference");
+  }
   return true;
 }
 

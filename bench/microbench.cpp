@@ -277,20 +277,31 @@ void register_sim(BenchRegistry& registry) {
     std::uint32_t n, r;
     const char* collective;
     bool quick;
+    bool pin_reference;
   };
+  // The plain sim.* series honor --fluid-solver (fast by default); the
+  // sim.reference.* series pin the oracle so tools/bench_diff can show
+  // the fast solver's speedup side by side. The reference series live
+  // under their own prefix so CI's "sim.alltoall.n256" telemetry-overhead
+  // filter keeps matching only the production solver.
   for (const Config& c : {
-           Config{64, 12, "alltoall", true},
-           Config{64, 12, "allreduce", true},
-           Config{256, 12, "allreduce", false},
-           Config{256, 12, "alltoall", false},
+           Config{64, 12, "alltoall", true, false},
+           Config{64, 12, "allreduce", true, false},
+           Config{256, 12, "allreduce", false, false},
+           Config{256, 12, "alltoall", false, false},
+           Config{64, 12, "alltoall", true, true},
+           Config{256, 12, "alltoall", false, true},
        }) {
     registry.add({
-        "sim." + std::string(c.collective) + ".n" + std::to_string(c.n) + "_r" +
+        std::string("sim.") + (c.pin_reference ? "reference." : "") +
+            c.collective + ".n" + std::to_string(c.n) + "_r" +
             std::to_string(c.r),
         "sim",
         [c]() -> BenchOp {
           auto graph = std::make_shared<HostSwitchGraph>(setup_graph(c.n, c.r));
-          auto machine = std::make_shared<Machine>(*graph, SimParams{},
+          SimParams params = orp::bench::cli_sim_params();
+          if (c.pin_reference) params.fluid_solver = FluidSolver::kReference;
+          auto machine = std::make_shared<Machine>(*graph, params,
                                                    dfs_host_order(*graph));
           const bool alltoall = std::string_view(c.collective) == "alltoall";
           return [machine, alltoall] {

@@ -33,13 +33,21 @@ void FairShareSolver::solve(const std::vector<std::vector<LinkId>>& paths,
   remaining_.assign(touched_.size(), capacity_);
   count_.assign(touched_.size(), 0);
   std::uint32_t unfixed = 0;
+  std::vector<std::uint8_t> fixed(num_flows, 0);
   for (std::size_t f = 0; f < num_flows; ++f) {
     if (!active[f]) continue;
+    if (paths[f].empty()) {
+      // Zero-link flow (same-switch endpoints): it can never cross a
+      // saturated link, so progressive filling would never freeze it.
+      // It contends with nothing; give it line rate and exclude it.
+      fixed[f] = 1;
+      rates[f] = capacity_;
+      continue;
+    }
     ++unfixed;
     for (const LinkId l : paths[f]) ++count_[link_slot_[l]];
   }
 
-  std::vector<std::uint8_t> fixed(num_flows, 0);
   double level = 0.0;  // current common fill rate
   while (unfixed > 0) {
     double delta = std::numeric_limits<double>::infinity();

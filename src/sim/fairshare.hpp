@@ -17,8 +17,13 @@ namespace orp {
 
 /// Solves max-min rates for `flows` (each a list of directed link ids)
 /// where every link has identical capacity `link_capacity`. `rates[i]`
-/// receives flow i's allocation. Empty paths get infinite rate (callers
-/// never produce them). Scratch buffers are reused across calls.
+/// receives flow i's allocation. Active flows with empty paths
+/// (same-switch endpoints) contend with nothing and get line rate.
+/// Scratch buffers are reused across calls.
+///
+/// This is the golden oracle for FastFairShareSolver (fairshare_fast.hpp):
+/// keep semantics frozen — the differential battery in
+/// tests/sim_fairshare_diff_test.cpp pins both solvers to each other.
 class FairShareSolver {
  public:
   explicit FairShareSolver(std::uint32_t num_links, double link_capacity);

@@ -47,7 +47,8 @@ Machine::Machine(const HostSwitchGraph& graph, const SimParams& params,
       routes_(graph_),
       num_ranks_(graph.num_hosts()),
       rank_to_host_(std::move(rank_to_host)),
-      solver_(routes_.num_links(), params.link_bandwidth) {
+      solver_(routes_.num_links(), params.link_bandwidth),
+      fast_solver_(routes_.num_links(), params.link_bandwidth) {
   if (rank_to_host_.empty()) {
     rank_to_host_.resize(num_ranks_);
     std::iota(rank_to_host_.begin(), rank_to_host_.end(), 0);
@@ -178,6 +179,8 @@ bool Machine::apply_due_faults(double horizon,
     // just shifted, not stable names).
     routes_ = RoutingTable(graph_);
     solver_ = FairShareSolver(routes_.num_links(), params_.link_bandwidth);
+    fast_solver_ =
+        FastFairShareSolver(routes_.num_links(), params_.link_bandwidth);
     ++fault_stats_.routing_rebuilds;
     instruments.fault_rebuilds.inc();
   }
@@ -211,13 +214,23 @@ double Machine::phase(const std::vector<Message>& messages) {
 
   // Build flow paths (self-messages are memcpy, modeled as free).
   ++phase_counter_;
-  paths_.clear();
-  std::vector<std::uint64_t> remaining;
-  std::vector<std::uint32_t> hops;
-  std::vector<HostId> flow_src, flow_dst;
-  std::vector<std::uint64_t> flow_key;
-  std::vector<double> penalty;
-  std::vector<std::uint8_t> failed, retried;
+  std::vector<std::uint64_t>& remaining = scratch_.remaining;
+  std::vector<std::uint32_t>& hops = scratch_.hops;
+  std::vector<HostId>& flow_src = scratch_.flow_src;
+  std::vector<HostId>& flow_dst = scratch_.flow_dst;
+  std::vector<std::uint64_t>& flow_key = scratch_.flow_key;
+  std::vector<double>& penalty = scratch_.penalty;
+  std::vector<std::uint8_t>& failed = scratch_.failed;
+  std::vector<std::uint8_t>& retried = scratch_.retried;
+  remaining.clear();
+  hops.clear();
+  flow_src.clear();
+  flow_dst.clear();
+  flow_key.clear();
+  penalty.clear();
+  failed.clear();
+  retried.clear();
+  std::size_t built = 0;
 
   // Routes flow f on the current topology; returns its hop count, or 0
   // when no route survives (dead endpoint or partitioned host pair).
@@ -235,8 +248,12 @@ double Machine::phase(const std::vector<Message>& messages) {
   for (const Message& m : messages) {
     ORP_REQUIRE(m.src < num_ranks_ && m.dst < num_ranks_, "rank out of range");
     if (m.src == m.dst) continue;
-    const std::size_t f = paths_.size();
-    paths_.emplace_back();
+    const std::size_t f = built++;
+    if (f < paths_.size()) {
+      paths_[f].clear();  // reuse the buffer's capacity
+    } else {
+      paths_.emplace_back();
+    }
     flow_src.push_back(rank_to_host_[m.src]);
     flow_dst.push_back(rank_to_host_[m.dst]);
     // Per-flow key: stable for a (src, dst) within a phase, varied across
@@ -250,11 +267,14 @@ double Machine::phase(const std::vector<Message>& messages) {
     retried.push_back(0);
     hops.push_back(route_flow(f));
   }
-  if (paths_.empty()) return 0.0;
+  if (built == 0) return 0.0;
+  paths_.resize(built);
 
   const std::size_t num_flows = paths_.size();
-  std::vector<std::uint8_t> active(num_flows, 1);
-  std::vector<double> finish(num_flows, 0.0);
+  std::vector<std::uint8_t>& active = scratch_.active;
+  std::vector<double>& finish = scratch_.finish;
+  active.assign(num_flows, 1);
+  finish.assign(num_flows, 0.0);
   std::size_t active_count = num_flows;
 
   // Network telemetry (docs/telemetry.md): one load when no tracer is
@@ -289,10 +309,17 @@ double Machine::phase(const std::vector<Message>& messages) {
   // were crossing a dead link pay retry_backoff, flows with no surviving
   // route fail at the event time plus retry_timeout.
   double t = 0.0;
-  std::vector<double> byte_progress(num_flows, 0.0);
-  std::vector<std::uint8_t> removed_links;
+  std::vector<double>& byte_progress = scratch_.byte_progress;
+  byte_progress.assign(num_flows, 0.0);
+  std::vector<std::uint8_t>& removed_links = scratch_.removed_links;
+  const bool fast = params_.fluid_solver == FluidSolver::kFast;
+  if (fast) fast_solver_.set_paths(paths_, active);
   while (active_count > 0) {
-    solver_.solve(paths_, active, rates_);
+    if (fast) {
+      fast_solver_.solve(rates_);
+    } else {
+      solver_.solve(paths_, active, rates_);
+    }
     double dt = std::numeric_limits<double>::infinity();
     for (std::size_t f = 0; f < num_flows; ++f) {
       if (!active[f]) continue;
@@ -350,6 +377,10 @@ double Machine::phase(const std::vector<Message>& messages) {
           }
         }
       }
+      // Link ids renumbered and every surviving flow was re-pathed, so the
+      // fast solver's tableau (replaced in apply_due_faults) is rebuilt
+      // from scratch; the next solve is a cold one.
+      if (fast) fast_solver_.set_paths(paths_, active);
       continue;
     }
 
@@ -368,6 +399,7 @@ double Machine::phase(const std::vector<Message>& messages) {
         active[f] = 0;
         --active_count;
         finish[f] = t;
+        if (fast) fast_solver_.deactivate(f);
         if (tele) net_.flow_done(f, rates_[f]);
       }
     }

@@ -23,6 +23,7 @@
 
 #include "hsg/host_switch_graph.hpp"
 #include "sim/fairshare.hpp"
+#include "sim/fairshare_fast.hpp"
 #include "sim/fault.hpp"
 #include "sim/params.hpp"
 #include "sim/routing.hpp"
@@ -141,7 +142,11 @@ class Machine {
   RoutingTable routes_;
   std::uint32_t num_ranks_;
   std::vector<HostId> rank_to_host_;
+  // Both allocators stay constructed; params_.fluid_solver picks which one
+  // the fluid loop drives (fast by default, reference as the escape hatch
+  // and oracle — see docs/sim.md).
   FairShareSolver solver_;
+  FastFairShareSolver fast_solver_;
   double clock_ = 0.0;
   PhaseStats stats_;
   std::uint64_t phase_counter_ = 0;  ///< decorrelates ECMP hashes across phases
@@ -160,10 +165,22 @@ class Machine {
   // Network telemetry (no-op unless a JSONL tracer is active).
   NetPhaseCollector net_;
 
-  // Scratch reused across phases.
+  // Scratch reused across phases. paths_ keeps its inner vectors' capacity
+  // between phases (collective rounds have identical flow counts, so the
+  // per-flow path buffers stabilize after the first round).
   std::vector<std::vector<LinkId>> paths_;
   std::vector<double> rates_;
   std::vector<double> link_bytes_;
+  struct PhaseScratch {
+    std::vector<std::uint64_t> remaining;
+    std::vector<std::uint32_t> hops;
+    std::vector<HostId> flow_src, flow_dst;
+    std::vector<std::uint64_t> flow_key;
+    std::vector<double> penalty;
+    std::vector<std::uint8_t> failed, retried, active;
+    std::vector<double> finish, byte_progress;
+    std::vector<std::uint8_t> removed_links;
+  } scratch_;
 };
 
 }  // namespace orp

@@ -115,16 +115,26 @@ std::uint64_t splitmix64(std::uint64_t x) {
 template <typename T>
 class Reservoir {
  public:
+  static constexpr std::size_t kReject = ~std::size_t{0};
+
   void set_capacity(std::size_t capacity) { capacity_ = capacity; }
-  void offer(T record) {
+  /// Admission decision for the next offered record without materializing
+  /// it: counts the record as seen and returns the slot it would occupy,
+  /// or kReject. The decision depends only on the record's ordinal, so
+  /// callers can skip building records the reservoir would drop anyway.
+  std::size_t admit() {
     ++seen_;
     if (items_.size() < capacity_) {
-      items_.push_back(std::move(record));
-      return;
+      items_.emplace_back();
+      return items_.size() - 1;
     }
-    if (capacity_ == 0) return;
+    if (capacity_ == 0) return kReject;
     const std::uint64_t j = splitmix64(seen_) % seen_;
-    if (j < capacity_) items_[static_cast<std::size_t>(j)] = std::move(record);
+    return j < capacity_ ? static_cast<std::size_t>(j) : kReject;
+  }
+  void offer(T record) {
+    const std::size_t slot = admit();
+    if (slot != kReject) items_[slot] = std::move(record);
   }
   std::uint64_t seen() const { return seen_; }
   std::vector<T>& items() { return items_; }
@@ -169,10 +179,23 @@ class NetStore {
     return next_phase_++;
   }
 
-  void push(std::vector<NetFlowRecord>& flows,
+  /// Pushes one phase's records. Flow records are admitted by ordinal
+  /// first and only the accepted ones are built, via `build(i)` for the
+  /// i-th sampled flow of the phase — at reservoir caps the vast majority
+  /// of offers are rejected, so skipping construction for them keeps the
+  /// traced hot path near the untraced one (the CI 1% overhead gate).
+  /// Runs under the store lock so a concurrent drain can never observe a
+  /// half-admitted batch.
+  template <typename BuildFlow>
+  void push(std::size_t flow_count, BuildFlow&& build,
             std::vector<NetLinkSample>& links, const NetPhaseRecord& phase) {
     std::lock_guard lock(mutex_);
-    for (NetFlowRecord& f : flows) flows_.offer(std::move(f));
+    for (std::size_t i = 0; i < flow_count; ++i) {
+      const std::size_t slot = flows_.admit();
+      if (slot != Reservoir<NetFlowRecord>::kReject) {
+        flows_.items()[slot] = build(i);
+      }
+    }
     for (NetLinkSample& l : links) links_.offer(std::move(l));
     phases_.offer(phase);
   }
@@ -357,50 +380,58 @@ void NetPhaseCollector::on_segment(std::uint32_t step, double t0_s, double t1_s,
     if (!active[f]) continue;
     for (const LinkId l : paths[f]) max_link = std::max<std::size_t>(max_link, l);
   }
-  if (link_rate_.size() <= max_link) {
-    link_rate_.resize(max_link + 1, 0.0);
-    link_count_.resize(max_link + 1, 0);
-    link_fair_.resize(max_link + 1, 0.0);
+  if (link_scratch_.size() <= max_link) {
+    link_scratch_.resize(max_link + 1);
   }
   touched_.clear();
   for (std::size_t f = 0; f < paths.size(); ++f) {
     if (!active[f]) continue;
     for (const LinkId l : paths[f]) {
-      if (link_count_[l] == 0) {
+      LinkScratch& s = link_scratch_[l];
+      if (s.count == 0) {
         touched_.push_back(l);
-        link_rate_[l] = 0.0;
-        link_fair_[l] = rates[f];
+        s.sum = 0.0;
+        s.fair = rates[f];
       }
-      ++link_count_[l];
-      link_rate_[l] += rates[f];
-      link_fair_[l] = std::min(link_fair_[l], rates[f]);
+      ++s.count;
+      s.sum += rates[f];
+      s.fair = std::min(s.fair, rates[f]);
     }
   }
 
   // Keep the top-K most utilized links of the segment (insertion select,
-  // ties broken toward the lower link id for determinism).
+  // ties broken toward the lower link id for determinism). Once the
+  // window is full, a candidate strictly below the current worst kept
+  // utilization is rejected without touching the window.
   std::vector<NetLinkSample>& out = step_samples_;
   const std::size_t base = out.size();
   for (const std::uint32_t l : touched_) {
+    LinkScratch& scratch = link_scratch_[l];
+    const double util = scratch.sum;  // rate sum; scaled in end_phase
+    const bool full = out.size() - base >= cfg_.link_top_k;
+    if (full && util < out.back().utilization) {
+      scratch.count = 0;
+      continue;
+    }
     NetLinkSample sample;
     sample.phase = phase_id_;
     sample.step = static_cast<std::int32_t>(step);
     sample.link = l;
     sample.t0_s = t0_s;
     sample.t1_s = t1_s;
-    sample.utilization = link_rate_[l];  // rate sum; scaled in end_phase
-    sample.flows = link_count_[l];
-    sample.fair_bps = link_fair_[l];
+    sample.utilization = util;
+    sample.flows = scratch.count;
+    sample.fair_bps = scratch.fair;
     auto begin = out.begin() + static_cast<std::ptrdiff_t>(base);
     auto pos = std::find_if(begin, out.end(), [&](const NetLinkSample& s) {
       return sample.utilization > s.utilization ||
              (sample.utilization == s.utilization && sample.link < s.link);
     });
-    if (pos != out.end() || out.size() - base < cfg_.link_top_k) {
+    if (pos != out.end() || !full) {
       out.insert(pos, sample);
       if (out.size() - base > cfg_.link_top_k) out.pop_back();
     }
-    link_count_[l] = 0;  // reset scratch as we go
+    scratch.count = 0;  // reset scratch as we go
   }
 }
 
@@ -421,9 +452,6 @@ void NetPhaseCollector::end_phase(const PhaseEnd& end) {
     sample.utilization /= bandwidth;
   }
 
-  std::vector<NetFlowRecord> flows;
-  flows.reserve(cfg_.flow_sample == 1 ? num_flows
-                                      : num_flows / cfg_.flow_sample + 1);
   NetPhaseRecord phase;
   phase.phase = phase_id_;
   phase.flows = static_cast<std::uint32_t>(num_flows);
@@ -433,11 +461,21 @@ void NetPhaseCollector::end_phase(const PhaseEnd& end) {
   phase.transfer_s = end.transfer_end_s;
 
   for (std::size_t f = 0; f < num_flows; ++f) {
+    phase.failed += (*end.failed)[f] ? 1u : 0u;
+    phase.retried += (*end.retried)[f] ? 1u : 0u;
+  }
+  phase.completed = phase.flows - phase.failed;
+
+  // Flow records are built lazily inside NetStore::push, only for the
+  // ordinals the reservoir admits; the i-th sampled flow of the phase is
+  // flow i * flow_sample.
+  const std::size_t sampled_flows =
+      cfg_.flow_sample > 0 ? (num_flows + cfg_.flow_sample - 1) / cfg_.flow_sample
+                           : 0;
+  auto build_flow = [&](std::size_t i) {
+    const std::size_t f = i * cfg_.flow_sample;
     const bool failed = (*end.failed)[f] != 0;
     const double penalty = (*end.penalty)[f];
-    phase.failed += failed ? 1u : 0u;
-    phase.retried += (*end.retried)[f] ? 1u : 0u;
-    if (f % cfg_.flow_sample != 0) continue;
 
     NetFlowRecord record;
     record.phase = phase_id_;
@@ -471,9 +509,8 @@ void NetPhaseCollector::end_phase(const PhaseEnd& end) {
     }
     record.rate_first_bps = rate_first_[f];
     record.rate_last_bps = rate_last_[f];
-    flows.push_back(record);
-  }
-  phase.completed = phase.flows - phase.failed;
+    return record;
+  };
 
   // Whole-phase link buckets (step -1) from the per-link byte totals:
   // utilization over the transfer window, crossing-flow count, and the
@@ -487,10 +524,8 @@ void NetPhaseCollector::end_phase(const PhaseEnd& end) {
         max_link = std::max<std::size_t>(max_link, l);
       }
     }
-    if (link_rate_.size() <= max_link) {
-      link_rate_.resize(max_link + 1, 0.0);
-      link_count_.resize(max_link + 1, 0);
-      link_fair_.resize(max_link + 1, 0.0);
+    if (link_scratch_.size() <= max_link) {
+      link_scratch_.resize(max_link + 1);
     }
     touched_.clear();
     for (std::size_t f = 0; f < num_flows; ++f) {
@@ -500,29 +535,37 @@ void NetPhaseCollector::end_phase(const PhaseEnd& end) {
       const double finish = (*end.finish)[f];
       const double mean_bps = finish > 0.0 ? flow_bytes / finish : 0.0;
       for (const LinkId l : (*end.paths)[f]) {
-        if (link_count_[l] == 0) {
+        LinkScratch& s = link_scratch_[l];
+        if (s.count == 0) {
           touched_.push_back(l);
-          link_rate_[l] = 0.0;
-          link_fair_[l] = mean_bps;
+          s.sum = 0.0;
+          s.fair = mean_bps;
         }
-        ++link_count_[l];
-        link_rate_[l] += flow_bytes;
-        link_fair_[l] = std::min(link_fair_[l], mean_bps);
+        ++s.count;
+        s.sum += flow_bytes;
+        s.fair = std::min(s.fair, mean_bps);
       }
     }
     const double capacity = bandwidth * t;
     const std::size_t base = step_samples_.size();
     for (const std::uint32_t l : touched_) {
+      LinkScratch& scratch = link_scratch_[l];
+      const double util = scratch.sum / capacity;
+      phase.max_utilization = std::max(phase.max_utilization, util);
+      const bool full = step_samples_.size() - base >= cfg_.link_top_k;
+      if (full && util < step_samples_.back().utilization) {
+        scratch.count = 0;
+        continue;
+      }
       NetLinkSample sample;
       sample.phase = phase_id_;
       sample.step = -1;
       sample.link = l;
       sample.t0_s = phase_start_s_;
       sample.t1_s = phase_start_s_ + t;
-      sample.utilization = link_rate_[l] / capacity;
-      sample.flows = link_count_[l];
-      sample.fair_bps = link_fair_[l];
-      phase.max_utilization = std::max(phase.max_utilization, sample.utilization);
+      sample.utilization = util;
+      sample.flows = scratch.count;
+      sample.fair_bps = scratch.fair;
       auto begin = step_samples_.begin() + static_cast<std::ptrdiff_t>(base);
       auto pos = std::find_if(begin, step_samples_.end(),
                               [&](const NetLinkSample& s) {
@@ -530,18 +573,17 @@ void NetPhaseCollector::end_phase(const PhaseEnd& end) {
                                        (sample.utilization == s.utilization &&
                                         sample.link < s.link);
                               });
-      if (pos != step_samples_.end() ||
-          step_samples_.size() - base < cfg_.link_top_k) {
+      if (pos != step_samples_.end() || !full) {
         step_samples_.insert(pos, sample);
         if (step_samples_.size() - base > cfg_.link_top_k) {
           step_samples_.pop_back();
         }
       }
-      link_count_[l] = 0;
+      scratch.count = 0;
     }
   }
 
-  NetStore::global().push(flows, step_samples_, phase);
+  NetStore::global().push(sampled_flows, build_flow, step_samples_, phase);
   step_samples_.clear();
 }
 

@@ -171,10 +171,16 @@ class NetPhaseCollector {
   double phase_start_s_ = 0.0;
   std::vector<double> rate_first_, rate_last_;
   std::vector<NetLinkSample> step_samples_;
-  // Dense per-link scratch for one segment (sized on demand).
-  std::vector<double> link_rate_;
-  std::vector<std::uint32_t> link_count_;
-  std::vector<double> link_fair_;
+  // Dense per-link scratch for one segment (sized on demand). One struct
+  // per link rather than parallel arrays: the accumulation pass hits
+  // links in random order, so keeping a link's three fields on one cache
+  // line matters on the paper-scale incidence counts.
+  struct LinkScratch {
+    double sum = 0.0;   ///< rate sum (per-step) or byte sum (per-phase)
+    double fair = 0.0;  ///< minimum crossing-flow rate
+    std::uint32_t count = 0;
+  };
+  std::vector<LinkScratch> link_scratch_;
   std::vector<std::uint32_t> touched_;
 };
 

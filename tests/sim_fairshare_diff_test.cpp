@@ -1,0 +1,363 @@
+// Differential battery pinning FastFairShareSolver to the reference
+// FairShareSolver (the golden oracle), plus max-min (KKT) certificate
+// property tests. The contract under test (docs/sim.md): both solvers
+// agree flow-by-flow within 1e-9 * capacity on any instance — including
+// duplicate routes (aggregation), mid-phase deactivations (warm start),
+// zero-link flows, and capacity-epsilon freeze ties — and the Machine
+// produces identical phase timings whichever solver drives it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "search/random_init.hpp"
+#include "sim/fairshare.hpp"
+#include "sim/fairshare_fast.hpp"
+#include "sim/fault.hpp"
+#include "sim/machine.hpp"
+
+namespace orp {
+namespace {
+
+constexpr std::uint32_t kLinks = 64;
+constexpr double kCap = 5.0e9;
+constexpr double kTol = 1e-9 * kCap;
+
+struct Instance {
+  std::vector<std::vector<LinkId>> paths;
+  std::vector<std::uint8_t> active;
+};
+
+// Random instance with deliberate route duplication (flows draw their
+// paths from a small pool, so aggregation always has work to do) and a
+// sprinkle of zero-link flows. Pool paths may repeat a link — both
+// solvers double-count those crossings, and the battery pins that too.
+Instance random_instance(Xoshiro256& rng, std::size_t pool_size,
+                         std::size_t num_flows) {
+  std::vector<std::vector<LinkId>> pool(pool_size);
+  for (auto& route : pool) {
+    const std::size_t len = 1 + rng() % 6;
+    for (std::size_t i = 0; i < len; ++i) {
+      route.push_back(static_cast<LinkId>(rng() % kLinks));
+    }
+  }
+  Instance inst;
+  inst.paths.resize(num_flows);
+  inst.active.assign(num_flows, 1);
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    if (rng() % 20 == 0) continue;  // zero-link flow
+    inst.paths[f] = pool[rng() % pool_size];
+  }
+  return inst;
+}
+
+void expect_rates_match(const std::vector<double>& ref,
+                        const std::vector<double>& fast,
+                        const std::string& context) {
+  ASSERT_EQ(ref.size(), fast.size()) << context;
+  for (std::size_t f = 0; f < ref.size(); ++f) {
+    ASSERT_NEAR(ref[f], fast[f], kTol) << context << ", flow " << f;
+  }
+}
+
+void expect_certified(const Instance& inst, const std::vector<double>& rates,
+                      const std::string& context) {
+  std::string why;
+  ASSERT_TRUE(
+      max_min_certificate_ok(inst.paths, inst.active, rates, kCap, kTol, &why))
+      << context << ": " << why;
+}
+
+// The core battery: randomized instances, solved cold by both solvers,
+// then driven through a randomized deactivation schedule (small batches,
+// re-solving after each) that exercises the fast solver's freeze-log
+// warm start. One fast solver instance is reused across seeds, so
+// set_paths() must fully reset phase state.
+TEST(FairShareDiff, RandomizedBatteryWithDeactivationSchedules) {
+  FairShareSolver ref(kLinks, kCap);
+  FastFairShareSolver fast(kLinks, kCap);
+  std::vector<double> r_ref, r_fast;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    Xoshiro256 rng(seed);
+    const std::size_t pool_size = 4 + rng() % 24;
+    const std::size_t num_flows = 16 + rng() % 240;
+    Instance inst = random_instance(rng, pool_size, num_flows);
+    const std::string tag = "seed " + std::to_string(seed);
+
+    fast.set_paths(inst.paths, inst.active);
+    ref.solve(inst.paths, inst.active, r_ref);
+    fast.solve(r_fast);
+    expect_rates_match(r_ref, r_fast, tag + " cold");
+    expect_certified(inst, r_ref, tag + " cold reference");
+    expect_certified(inst, r_fast, tag + " cold fast");
+    EXPECT_TRUE(fast.self_check());
+
+    std::vector<std::size_t> order(num_flows);
+    std::iota(order.begin(), order.end(), 0);
+    std::shuffle(order.begin(), order.end(), rng);
+    std::size_t pos = 0;
+    int step = 0;
+    while (pos < order.size()) {
+      for (std::size_t batch = 1 + rng() % 7; batch > 0 && pos < order.size();
+           --batch, ++pos) {
+        inst.active[order[pos]] = 0;
+        fast.deactivate(order[pos]);
+      }
+      const std::string warm_tag =
+          tag + " warm step " + std::to_string(step++);
+      ref.solve(inst.paths, inst.active, r_ref);
+      fast.solve(r_fast);
+      expect_rates_match(r_ref, r_fast, warm_tag);
+      expect_certified(inst, r_fast, warm_tag + " fast");
+      EXPECT_TRUE(fast.self_check());
+    }
+  }
+}
+
+TEST(FairShareDiff, DuplicateRoutesAggregateExactly) {
+  // 96 flows over 3 distinct routes sharing a common link: aggregation
+  // collapses them to 3 weighted flows; the fan-out must reproduce the
+  // reference per-flow rates exactly (equal paths get equal rates).
+  Instance inst;
+  for (int copy = 0; copy < 32; ++copy) {
+    inst.paths.push_back({0, 1});
+    inst.paths.push_back({0, 2});
+    inst.paths.push_back({0, 3});
+  }
+  inst.active.assign(inst.paths.size(), 1);
+
+  FairShareSolver ref(kLinks, kCap);
+  FastFairShareSolver fast(kLinks, kCap);
+  std::vector<double> r_ref, r_fast;
+  fast.set_paths(inst.paths, inst.active);
+  ref.solve(inst.paths, inst.active, r_ref);
+  fast.solve(r_fast);
+  expect_rates_match(r_ref, r_fast, "duplicate routes");
+  for (const double r : r_fast) EXPECT_NEAR(r, kCap / 96.0, kTol);
+}
+
+TEST(FairShareDiff, EmptyFlowSet) {
+  FairShareSolver ref(kLinks, kCap);
+  FastFairShareSolver fast(kLinks, kCap);
+  const Instance inst;  // no flows at all
+  std::vector<double> r_ref, r_fast;
+  ref.solve(inst.paths, inst.active, r_ref);
+  fast.set_paths(inst.paths, inst.active);
+  fast.solve(r_fast);
+  EXPECT_TRUE(r_ref.empty());
+  EXPECT_TRUE(r_fast.empty());
+}
+
+TEST(FairShareDiff, SingleFlowGetsLineRate) {
+  Instance inst{{{0, 1, 2}}, {1}};
+  FairShareSolver ref(kLinks, kCap);
+  FastFairShareSolver fast(kLinks, kCap);
+  std::vector<double> r_ref, r_fast;
+  ref.solve(inst.paths, inst.active, r_ref);
+  fast.set_paths(inst.paths, inst.active);
+  fast.solve(r_fast);
+  EXPECT_DOUBLE_EQ(r_ref[0], kCap);
+  EXPECT_DOUBLE_EQ(r_fast[0], kCap);
+}
+
+TEST(FairShareDiff, AllFlowsOnOneLink) {
+  Instance inst;
+  inst.paths.assign(37, {5});
+  inst.active.assign(37, 1);
+  FairShareSolver ref(kLinks, kCap);
+  FastFairShareSolver fast(kLinks, kCap);
+  std::vector<double> r_ref, r_fast;
+  ref.solve(inst.paths, inst.active, r_ref);
+  fast.set_paths(inst.paths, inst.active);
+  fast.solve(r_fast);
+  expect_rates_match(r_ref, r_fast, "one link");
+  for (const double r : r_fast) EXPECT_NEAR(r, kCap / 37.0, kTol);
+  // Drain them one at a time: the survivors' share grows every step.
+  for (std::size_t f = 0; f + 1 < inst.paths.size(); ++f) {
+    inst.active[f] = 0;
+    fast.deactivate(f);
+    ref.solve(inst.paths, inst.active, r_ref);
+    fast.solve(r_fast);
+    expect_rates_match(r_ref, r_fast, "drain " + std::to_string(f));
+    EXPECT_NEAR(r_fast.back(), kCap / static_cast<double>(36 - f), kTol);
+  }
+}
+
+TEST(FairShareDiff, ZeroLinkFlowsGetLineRateInBothSolvers) {
+  // Mix of empty-path flows and a contended link; zero-link flows must
+  // ride at line rate in both solvers and not perturb the contended ones.
+  Instance inst{{{}, {7}, {}, {7}, {}}, {1, 1, 1, 1, 1}};
+  FairShareSolver ref(kLinks, kCap);
+  FastFairShareSolver fast(kLinks, kCap);
+  std::vector<double> r_ref, r_fast;
+  ref.solve(inst.paths, inst.active, r_ref);
+  fast.set_paths(inst.paths, inst.active);
+  fast.solve(r_fast);
+  expect_rates_match(r_ref, r_fast, "zero-link mix");
+  EXPECT_DOUBLE_EQ(r_fast[0], kCap);
+  EXPECT_DOUBLE_EQ(r_fast[2], kCap);
+  EXPECT_DOUBLE_EQ(r_fast[4], kCap);
+  EXPECT_NEAR(r_fast[1], kCap / 2.0, kTol);
+  // Deactivating a zero-link flow is a no-op for everyone else.
+  inst.active[2] = 0;
+  fast.deactivate(2);
+  ref.solve(inst.paths, inst.active, r_ref);
+  fast.solve(r_fast);
+  expect_rates_match(r_ref, r_fast, "zero-link deactivated");
+  EXPECT_DOUBLE_EQ(r_fast[2], 0.0);
+}
+
+TEST(FairShareDiff, EpsilonFreezeTieBreaksIdentically) {
+  // Exact tie: links 0 and 1 saturate at the same level, so the shared
+  // flow and both exclusive flows freeze in one round in both solvers.
+  Instance tie{{{0}, {0, 1}, {1}}, {1, 1, 1}};
+  FairShareSolver ref(kLinks, kCap);
+  FastFairShareSolver fast(kLinks, kCap);
+  std::vector<double> r_ref, r_fast;
+  ref.solve(tie.paths, tie.active, r_ref);
+  fast.set_paths(tie.paths, tie.active);
+  fast.solve(r_fast);
+  expect_rates_match(r_ref, r_fast, "tie");
+  for (const double r : r_fast) EXPECT_NEAR(r, kCap / 2.0, kTol);
+
+  // Asymmetric counts: link 0 (4 crossers) saturates first at cap/4;
+  // link 1 then has one unfrozen crosser left, which rides to 3cap/4.
+  Instance skew{{{0}, {0}, {0}, {0, 1}, {1}}, {1, 1, 1, 1, 1}};
+  ref.solve(skew.paths, skew.active, r_ref);
+  fast.set_paths(skew.paths, skew.active);
+  fast.solve(r_fast);
+  expect_rates_match(r_ref, r_fast, "skew");
+  EXPECT_NEAR(r_fast[3], kCap / 4.0, kTol);
+  EXPECT_NEAR(r_fast[4], 3.0 * kCap / 4.0, kTol);
+}
+
+// ---- max-min certificate property tests ------------------------------
+
+TEST(MaxMinCertificate, AcceptsKnownOptimum) {
+  const std::vector<std::vector<LinkId>> paths{{0}, {0, 1}, {1}};
+  const std::vector<std::uint8_t> active{1, 1, 1};
+  const std::vector<double> rates{kCap / 2, kCap / 2, kCap / 2};
+  EXPECT_TRUE(max_min_certificate_ok(paths, active, rates, kCap, kTol));
+}
+
+TEST(MaxMinCertificate, RejectsOverCapacity) {
+  const std::vector<std::vector<LinkId>> paths{{0}, {0}};
+  const std::vector<std::uint8_t> active{1, 1};
+  std::string why;
+  EXPECT_FALSE(max_min_certificate_ok(paths, active, {0.6 * kCap, 0.6 * kCap},
+                                      kCap, kTol, &why));
+  EXPECT_NE(why.find("over capacity"), std::string::npos);
+}
+
+TEST(MaxMinCertificate, RejectsNonBottleneckedFlow) {
+  // Feasible but not max-min: flow 1 could still grow (its only link is
+  // unsaturated), so it crosses no saturated link.
+  const std::vector<std::vector<LinkId>> paths{{0}, {1}};
+  const std::vector<std::uint8_t> active{1, 1};
+  std::string why;
+  EXPECT_FALSE(max_min_certificate_ok(paths, active, {kCap, 0.5 * kCap}, kCap,
+                                      kTol, &why));
+  EXPECT_NE(why.find("no saturated link"), std::string::npos);
+}
+
+TEST(MaxMinCertificate, RejectsStarvedEqualPathFlow) {
+  // Link saturated, but flow 1 runs below the max crosser: progressive
+  // filling would never produce unequal rates on the same bottleneck.
+  const std::vector<std::vector<LinkId>> paths{{0}, {0}};
+  const std::vector<std::uint8_t> active{1, 1};
+  EXPECT_FALSE(max_min_certificate_ok(paths, active,
+                                      {0.75 * kCap, 0.25 * kCap}, kCap, kTol));
+}
+
+TEST(MaxMinCertificate, RejectsZeroLinkFlowBelowLineRate) {
+  const std::vector<std::vector<LinkId>> paths{{}};
+  const std::vector<std::uint8_t> active{1};
+  std::string why;
+  EXPECT_FALSE(
+      max_min_certificate_ok(paths, active, {0.5 * kCap}, kCap, kTol, &why));
+  EXPECT_NE(why.find("line rate"), std::string::npos);
+}
+
+TEST(MaxMinCertificate, IgnoresInactiveFlows) {
+  const std::vector<std::vector<LinkId>> paths{{0}, {0}};
+  const std::vector<std::uint8_t> active{1, 0};
+  EXPECT_TRUE(max_min_certificate_ok(paths, active, {kCap, 0.0}, kCap, kTol));
+}
+
+// ---- Machine-level differential --------------------------------------
+
+// Relative timing tolerance: per-phase durations derive from rates that
+// agree to 1e-9 relative; collectives chain tens of phases.
+void expect_close_time(double a, double b, const std::string& context) {
+  ASSERT_NEAR(a, b, 1e-7 * std::max(a, b) + 1e-15) << context;
+}
+
+TEST(FairShareDiff, MachineTimingsMatchAcrossSolvers) {
+  Xoshiro256 rng(7);
+  const HostSwitchGraph g = random_host_switch_graph(64, 16, 8, rng);
+  for (const RoutingPolicy pol :
+       {RoutingPolicy::kDeterministic, RoutingPolicy::kEcmp}) {
+    SimParams p;
+    p.routing = pol;
+    p.fluid_solver = FluidSolver::kReference;
+    Machine ref(g, p);
+    p.fluid_solver = FluidSolver::kFast;
+    Machine fast(g, p);
+    const std::string tag =
+        pol == RoutingPolicy::kEcmp ? "ecmp" : "deterministic";
+
+    expect_close_time(ref.alltoall(1 << 14), fast.alltoall(1 << 14),
+                      tag + " alltoall");
+    expect_close_time(ref.allreduce(1 << 16), fast.allreduce(1 << 16),
+                      tag + " allreduce");
+    expect_close_time(ref.allgather(1 << 12), fast.allgather(1 << 12),
+                      tag + " allgather");
+    const auto skewed = [](Rank s, Rank d) {
+      return static_cast<std::uint64_t>((s * 131 + d * 17) % 4096 + 64);
+    };
+    expect_close_time(ref.alltoallv(skewed), fast.alltoallv(skewed),
+                      tag + " alltoallv");
+    expect_close_time(ref.now(), fast.now(), tag + " clock");
+  }
+}
+
+TEST(FairShareDiff, MachineMidPhaseFaultTimingsMatchAcrossSolvers) {
+  // A cable dies mid-alltoall and is later repaired: in-flight flows
+  // reroute (set_paths rebuild on the fast path) and the remaining
+  // traffic re-solves. Timings and degradation counters must not depend
+  // on which solver drives the fluid loop.
+  Xoshiro256 rng(21);
+  const HostSwitchGraph g = random_host_switch_graph(32, 8, 6, rng);
+  const auto nbrs = g.neighbors(0);
+  ASSERT_FALSE(nbrs.empty());
+  const SwitchId victim = *nbrs.begin();
+
+  const auto run = [&](FluidSolver solver) {
+    SimParams p;
+    p.fluid_solver = solver;
+    Machine m(g, p);
+    m.inject_faults({{5e-5, FaultEvent::Kind::kLinkDown, 0, victim},
+                     {4e-4, FaultEvent::Kind::kLinkUp, 0, victim}});
+    std::vector<double> times;
+    times.push_back(m.alltoall(1 << 16));
+    times.push_back(m.allreduce(1 << 15));
+    times.push_back(m.now());
+    return std::make_pair(times, m.fault_stats());
+  };
+  const auto [t_ref, s_ref] = run(FluidSolver::kReference);
+  const auto [t_fast, s_fast] = run(FluidSolver::kFast);
+  for (std::size_t i = 0; i < t_ref.size(); ++i) {
+    expect_close_time(t_ref[i], t_fast[i], "fault step " + std::to_string(i));
+  }
+  EXPECT_EQ(s_ref.events_applied, s_fast.events_applied);
+  EXPECT_EQ(s_ref.flows_retried, s_fast.flows_retried);
+  EXPECT_EQ(s_ref.flows_failed, s_fast.flows_failed);
+  EXPECT_GT(s_ref.events_applied, 0u);
+}
+
+}  // namespace
+}  // namespace orp

@@ -221,6 +221,98 @@ TEST(SimTelemetryEndToEnd, FlowSamplingKeepsEveryNthFlowButAllPhases) {
   EXPECT_EQ(phase_flows, 3u + 7u * 8u);
 }
 
+// ---- fast-solver aggregation vs reference records ------------------------
+
+// Traced workload built to exercise the fast solver's route aggregation:
+// every (src, dst) pair carries three messages of different sizes, so
+// each route is shared by three flows that complete at different times
+// (mid-phase deactivations -> warm re-solves). Telemetry must see exact
+// de-aggregated per-flow rates, not the per-route aggregate.
+std::string trace_aggregation_workload(const char* stem, FluidSolver solver) {
+  const std::string path = testing::TempDir() + stem;
+  obs::SinkConfig config = obs::parse_sink(path);
+  config.snapshot_ms = 0;
+  if (!obs::configure(config)) ADD_FAILURE() << "cannot open " << path;
+  net_detail::reset_for_tests();
+  {
+    Xoshiro256 rng(17);
+    SimParams p;
+    p.fluid_solver = solver;
+    Machine m(random_host_switch_graph(8, 4, 6, rng), p);
+    std::vector<Message> messages;
+    for (Rank src = 0; src < 8; ++src) {
+      for (std::uint64_t copy = 0; copy < 3; ++copy) {
+        messages.push_back(
+            {src, static_cast<Rank>((src + 3) % 8), (copy + 1) << 18});
+      }
+    }
+    m.phase(messages);
+    m.alltoall(1 << 14);
+  }
+  obs::flush();
+  obs::configure(obs::SinkConfig{});
+  return path;
+}
+
+TEST(SimTelemetryEndToEnd, FastSolverAggregationMatchesReferenceRecords) {
+  set_net_telemetry(NetTelemetryConfig{});
+  const std::string p_ref =
+      trace_aggregation_workload("sim_tel_agg_ref.jsonl",
+                                 FluidSolver::kReference);
+  const obs::report::TraceAnalysis ref = obs::report::analyze_trace_file(p_ref);
+  std::remove(p_ref.c_str());
+  const std::string p_fast =
+      trace_aggregation_workload("sim_tel_agg_fast.jsonl", FluidSolver::kFast);
+  const obs::report::TraceAnalysis fast =
+      obs::report::analyze_trace_file(p_fast);
+  std::remove(p_fast.c_str());
+
+  ASSERT_TRUE(ref.network.present);
+  ASSERT_TRUE(fast.network.present);
+
+  // Five-term attribution stays exact when the fast solver aggregates.
+  EXPECT_LT(fast.network.max_residual_s, 1e-9);
+  for (const obs::report::NetFlow& f : fast.network.flows) {
+    EXPECT_NEAR(f.ser_s + f.queue_s + f.hop_s + f.retry_s + f.overhead_s,
+                f.total_s, 1e-9)
+        << "flow " << f.src << "->" << f.dst;
+  }
+
+  // Record-for-record agreement with the reference run: same flows in
+  // the same sorted order, with timings and observed rates equal within
+  // the solvers' 1e-9-relative rate agreement.
+  ASSERT_EQ(ref.network.flows.size(), fast.network.flows.size());
+  for (std::size_t i = 0; i < ref.network.flows.size(); ++i) {
+    const obs::report::NetFlow& a = ref.network.flows[i];
+    const obs::report::NetFlow& b = fast.network.flows[i];
+    ASSERT_EQ(a.phase, b.phase);
+    ASSERT_EQ(a.src, b.src);
+    ASSERT_EQ(a.dst, b.dst);
+    ASSERT_EQ(a.bytes, b.bytes);
+    EXPECT_EQ(a.hops, b.hops);
+    EXPECT_NEAR(a.total_s, b.total_s, 1e-7 * a.total_s + 1e-15);
+    EXPECT_NEAR(a.queue_s, b.queue_s, 1e-7 * a.total_s + 1e-15);
+    EXPECT_NEAR(a.rate_first_bps, b.rate_first_bps,
+                1e-7 * a.rate_first_bps + 1e-3);
+    EXPECT_NEAR(a.rate_mean_bps, b.rate_mean_bps,
+                1e-7 * a.rate_mean_bps + 1e-3);
+  }
+
+  // Per-link samples: identical buckets, flow counts, utilization, and
+  // fair_bps (the minimum fair-share rate crossing the link).
+  ASSERT_EQ(ref.network.link_samples.size(), fast.network.link_samples.size());
+  for (std::size_t i = 0; i < ref.network.link_samples.size(); ++i) {
+    const obs::report::NetLink& a = ref.network.link_samples[i];
+    const obs::report::NetLink& b = fast.network.link_samples[i];
+    ASSERT_EQ(a.phase, b.phase);
+    ASSERT_EQ(a.step, b.step);
+    ASSERT_EQ(a.link, b.link);
+    EXPECT_EQ(a.flows, b.flows);
+    EXPECT_NEAR(a.utilization, b.utilization, 1e-7 * a.utilization + 1e-12);
+    EXPECT_NEAR(a.fair_bps, b.fair_bps, 1e-7 * a.fair_bps + 1e-3);
+  }
+}
+
 #endif  // ORP_OBS_DISABLED
 
 }  // namespace
